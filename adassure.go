@@ -1,0 +1,472 @@
+// Package adassure is the public API of ADAssure, an assertion-based
+// debugging methodology for autonomous-driving control algorithms.
+//
+// The library provides, end to end:
+//
+//   - a deterministic closed-loop driving simulator (vehicle models,
+//     sensors, tracks, localization fusion, four lateral controllers);
+//   - an attack-injection framework over the GNSS/IMU/odometry channels;
+//   - the ADAssure runtime-assertion catalog (A1–A14) with a k-of-n
+//     debounced monitor engine and an assertion DSL for custom invariants;
+//   - a root-cause diagnosis engine mapping violation signatures to ranked
+//     hypotheses with rationales;
+//   - an experiment harness regenerating every table and figure of the
+//     evaluation.
+//
+// # Quick start
+//
+//	scn := adassure.Scenario{
+//		Track:      adassure.TrackUrbanLoop,
+//		Controller: adassure.ControllerPurePursuit,
+//		Attack:     adassure.AttackDriftSpoof,
+//		Seed:       1,
+//	}
+//	out, err := scn.Run()
+//	if err != nil { ... }
+//	fmt.Println(out.Report()) // violation timeline + ranked root causes
+//
+// The subsystems are exposed through type aliases so advanced users can
+// compose them directly: see Monitor, Assertion, Campaign, SimConfig.
+package adassure
+
+import (
+	"fmt"
+	"io"
+
+	"adassure/internal/attacks"
+	"adassure/internal/core"
+	"adassure/internal/diagnosis"
+	"adassure/internal/geom"
+	"adassure/internal/harness"
+	"adassure/internal/offline"
+	"adassure/internal/report"
+	"adassure/internal/sim"
+	"adassure/internal/trace"
+	"adassure/internal/track"
+	"adassure/internal/vehicle"
+)
+
+// Re-exported core types: the assertion framework.
+type (
+	// Frame is one control-period signal sample consumed by the monitor.
+	Frame = core.Frame
+	// Limits scales assertion thresholds to a platform envelope.
+	Limits = core.Limits
+	// Assertion is one runtime invariant.
+	Assertion = core.Assertion
+	// Outcome is an assertion evaluation result.
+	Outcome = core.Outcome
+	// Monitor evaluates assertions over the frame stream.
+	Monitor = core.Monitor
+	// Violation is one raised assertion episode.
+	Violation = core.Violation
+	// Debounce is the k-of-n raise policy.
+	Debounce = core.Debounce
+	// CatalogConfig tunes the built-in catalog.
+	CatalogConfig = core.CatalogConfig
+	// Severity grades violations.
+	Severity = core.Severity
+)
+
+// Re-exported severities.
+const (
+	SeverityInfo     = core.Info
+	SeverityWarning  = core.Warning
+	SeverityCritical = core.Critical
+)
+
+// Re-exported simulation and diagnosis types.
+type (
+	// SimConfig is the full simulation configuration for direct use.
+	SimConfig = sim.Config
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+	// GuardConfig configures the defended stack.
+	GuardConfig = sim.GuardConfig
+	// Campaign is an attack configuration.
+	Campaign = attacks.Campaign
+	// AttackWindow is an attack activation interval.
+	AttackWindow = attacks.Window
+	// Hypothesis is a ranked root-cause candidate.
+	Hypothesis = diagnosis.Hypothesis
+	// Cause identifies a diagnosed root cause.
+	Cause = diagnosis.Cause
+	// VehicleParams describes the simulated platform.
+	VehicleParams = vehicle.Params
+	// Track is a reference route with a speed limit.
+	Track = track.Track
+	// SpeedZone restricts speed over an arc-length range of a track.
+	SpeedZone = track.SpeedZone
+	// Waypoint is a planar route point for custom tracks.
+	Waypoint = geom.Vec2
+	// Trace is the recorded signal time-series of a run.
+	Trace = trace.Trace
+	// Table is a rendered experiment result.
+	Table = harness.Table
+	// ExperimentOptions configures experiment regeneration.
+	ExperimentOptions = harness.Options
+	// Recording is a persisted frame stream for offline re-monitoring.
+	Recording = offline.Recording
+	// RecordingMeta is the recording provenance.
+	RecordingMeta = offline.Meta
+)
+
+// NewCatalogMonitor builds a Monitor loaded with the built-in assertion
+// catalog A1–A14.
+func NewCatalogMonitor(cfg CatalogConfig) *Monitor { return core.NewCatalogMonitor(cfg) }
+
+// NewMonitor builds an empty Monitor for custom assertion sets.
+func NewMonitor() *Monitor { return core.NewMonitor() }
+
+// NewAssertion wraps an evaluation closure as a custom Assertion; see also
+// the DSL helpers BoundAssertion, RateAssertion, ConsistencyAssertion.
+func NewAssertion(id, name, desc string, sev Severity, eval func(Frame) Outcome, reset func()) Assertion {
+	return core.NewAssertion(id, name, desc, sev, eval, reset)
+}
+
+// BoundAssertion asserts lo ≤ extract(frame) ≤ hi.
+func BoundAssertion(id, name, desc string, sev Severity, extract func(Frame) (float64, bool), lo, hi float64) Assertion {
+	return core.Bound(id, name, desc, sev, core.Extractor(extract), lo, hi)
+}
+
+// RateAssertion asserts |d extract/dt| ≤ maxRate.
+func RateAssertion(id, name, desc string, sev Severity, extract func(Frame) (float64, bool), maxRate float64) Assertion {
+	return core.Rate(id, name, desc, sev, core.Extractor(extract), maxRate)
+}
+
+// ConsistencyAssertion asserts |a − b| ≤ tol whenever both apply.
+func ConsistencyAssertion(id, name, desc string, sev Severity, a, b func(Frame) (float64, bool), tol float64) Assertion {
+	return core.Consistency(id, name, desc, sev, core.Extractor(a), core.Extractor(b), nil, tol)
+}
+
+// Diagnose ranks root-cause hypotheses for a violation record.
+func Diagnose(vs []Violation) []Hypothesis { return diagnosis.Diagnose(vs) }
+
+// DiagnosisReport renders the human-readable debugging report.
+func DiagnosisReport(vs []Violation, topN int) string { return diagnosis.Report(vs, topN) }
+
+// Segment is one temporally-coherent incident with its own diagnosis.
+type Segment = diagnosis.Segment
+
+// Segmentize splits a violation record into incident segments separated by
+// quiet gaps (default 5 s) and diagnoses each — for drives containing
+// multiple incidents.
+func Segmentize(vs []Violation, quietGap float64) []Segment {
+	return diagnosis.Segmentize(vs, diagnosis.SegmentOptions{QuietGap: quietGap})
+}
+
+// SegmentReport renders the multi-incident debugging report.
+func SegmentReport(vs []Violation, quietGap float64) string {
+	return diagnosis.SegmentReport(vs, diagnosis.SegmentOptions{QuietGap: quietGap})
+}
+
+// TrackName selects a built-in test route.
+type TrackName string
+
+// Built-in tracks.
+const (
+	TrackStraight         TrackName = "straight"
+	TrackCircle           TrackName = "circle"
+	TrackSCurve           TrackName = "s-curve"
+	TrackFigureEight      TrackName = "figure-eight"
+	TrackDoubleLaneChange TrackName = "double-lane-change"
+	TrackUrbanLoop        TrackName = "urban-loop"
+	TrackHairpin          TrackName = "hairpin"
+)
+
+// ControllerName selects a built-in lateral controller.
+type ControllerName string
+
+// Built-in controllers.
+const (
+	ControllerPurePursuit ControllerName = "pure-pursuit"
+	ControllerStanley     ControllerName = "stanley"
+	ControllerPIDLateral  ControllerName = "pid-lateral"
+	ControllerLQRMPC      ControllerName = "lqr-mpc"
+)
+
+// AttackName selects a built-in attack class with canonical parameters.
+type AttackName string
+
+// Built-in attacks.
+const (
+	AttackNone           AttackName = "none"
+	AttackStepSpoof      AttackName = "gnss-step-spoof"
+	AttackDriftSpoof     AttackName = "gnss-drift-spoof"
+	AttackReplay         AttackName = "gnss-replay"
+	AttackFreeze         AttackName = "gnss-freeze"
+	AttackDelay          AttackName = "gnss-delay"
+	AttackDropout        AttackName = "gnss-dropout"
+	AttackNoiseInflation AttackName = "gnss-noise-inflation"
+	AttackMeander        AttackName = "gnss-meander"
+	AttackIMUHeadingBias AttackName = "imu-heading-bias"
+	AttackOdomScale      AttackName = "odom-scale"
+	AttackStuckSteer     AttackName = "actuator-stuck-steer"
+	AttackSteerOffset    AttackName = "actuator-steer-offset"
+)
+
+// AttackNames lists the built-in attack classes in stable order.
+func AttackNames() []AttackName {
+	out := []AttackName{}
+	for _, c := range attacks.StandardClasses() {
+		out = append(out, AttackName(c))
+	}
+	return out
+}
+
+// Scenario is the high-level entry point: one named configuration that can
+// be run with a single call.
+type Scenario struct {
+	// Track is the route (default TrackUrbanLoop).
+	Track TrackName
+	// CustomTrack overrides Track with a user-built route (e.g. from
+	// TrackFromWaypoints, optionally with zones).
+	CustomTrack *Track
+	// Controller is the lateral controller (default ControllerPurePursuit).
+	Controller ControllerName
+	// Attack is the injected attack class (default AttackNone).
+	Attack AttackName
+	// AttackStart/AttackEnd bound the attack window (defaults 20/50 s).
+	AttackStart, AttackEnd float64
+	// Seed drives all stochastic components (default 1).
+	Seed int64
+	// Duration is the simulated time in seconds (default 70).
+	Duration float64
+	// SpeedLimit of the route in m/s (default 6).
+	SpeedLimit float64
+	// Guarded enables the defended stack (gate + assertion-triggered
+	// fallback).
+	Guarded bool
+	// ThresholdScale loosens (>1) or tightens (<1) the catalog thresholds.
+	ThresholdScale float64
+	// RecordFrames captures the frame stream into the result's Recording
+	// for offline re-monitoring.
+	RecordFrames bool
+	// Localizer selects the fusion stack: "ekf" (default) or
+	// "complementary" (fixed-gain filter without innovation gating).
+	Localizer string
+}
+
+// Outcome of a Scenario run.
+type ScenarioResult struct {
+	// Sim is the raw simulation result, including the signal trace.
+	Sim *SimResult
+	// Violations is the monitor's episode record.
+	Violations []Violation
+	// Hypotheses is the ranked diagnosis.
+	Hypotheses []Hypothesis
+	// Recording holds the frame stream when Scenario.RecordFrames was set.
+	Recording *Recording
+
+	scenario Scenario
+}
+
+// Report renders the combined debugging report.
+func (r *ScenarioResult) Report() string {
+	return diagnosis.Report(r.Violations, 3)
+}
+
+// WriteMarkdownReport renders the full Markdown debugging report (scenario
+// metadata, run summary, detection, timeline, diagnosis, signal summary).
+func (r *ScenarioResult) WriteMarkdownReport(w io.Writer) error {
+	onset := -1.0
+	if r.scenario.Attack != AttackNone {
+		onset = r.scenario.AttackStart
+	}
+	return report.Write(w, report.Input{
+		Title: fmt.Sprintf("ADAssure report — %s on %s (%s, seed %d)",
+			r.scenario.Attack, r.scenario.Track, r.scenario.Controller, r.scenario.Seed),
+		Scenario: map[string]string{
+			"track":      string(r.scenario.Track),
+			"controller": string(r.scenario.Controller),
+			"attack":     string(r.scenario.Attack),
+			"seed":       fmt.Sprintf("%d", r.scenario.Seed),
+			"guarded":    fmt.Sprintf("%v", r.scenario.Guarded),
+		},
+		Result:      r.Sim,
+		Violations:  r.Violations,
+		AttackOnset: onset,
+	})
+}
+
+// Detected reports whether any violation was raised at or after t.
+func (r *ScenarioResult) Detected(after float64) bool {
+	for _, v := range r.Violations {
+		if v.T >= after {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the scenario.
+func (s Scenario) Run() (*ScenarioResult, error) {
+	if s.Track == "" {
+		s.Track = TrackUrbanLoop
+	}
+	if s.Controller == "" {
+		s.Controller = ControllerPurePursuit
+	}
+	if s.Attack == "" {
+		s.Attack = AttackNone
+	}
+	if s.AttackStart == 0 {
+		s.AttackStart = 20
+	}
+	if s.AttackEnd == 0 {
+		s.AttackEnd = 50
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Duration == 0 {
+		s.Duration = 70
+	}
+	if s.SpeedLimit == 0 {
+		s.SpeedLimit = 6
+	}
+
+	tr := s.CustomTrack
+	if tr == nil {
+		cat, err := track.Catalog(s.SpeedLimit)
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		tr, ok = cat[string(s.Track)]
+		if !ok {
+			return nil, fmt.Errorf("adassure: unknown track %q (have %v)", s.Track, track.Names(cat))
+		}
+	}
+
+	var camp Campaign
+	if s.Attack != AttackNone {
+		var err error
+		camp, err = attacks.Standard(attacks.Class(s.Attack), attacks.Window{Start: s.AttackStart, End: s.AttackEnd}, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mon := core.NewCatalogMonitor(core.CatalogConfig{
+		ThresholdScale:     s.ThresholdScale,
+		IncludeGroundTruth: true,
+	})
+	cfg := sim.Config{
+		Track:        tr,
+		Controller:   string(s.Controller),
+		Seed:         s.Seed,
+		Duration:     s.Duration,
+		Campaign:     camp,
+		Monitor:      mon,
+		RecordFrames: s.RecordFrames,
+		Localizer:    s.Localizer,
+	}
+	if s.Guarded {
+		cfg.Guard = sim.GuardConfig{Enabled: true, AssertionTrigger: true}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vs := mon.Violations()
+	out := &ScenarioResult{
+		Sim:        res,
+		Violations: vs,
+		Hypotheses: diagnosis.Diagnose(vs),
+		scenario:   s,
+	}
+	if s.RecordFrames {
+		out.Recording = &Recording{
+			Meta: RecordingMeta{
+				Track:      string(s.Track),
+				Controller: string(s.Controller),
+				Attack:     string(s.Attack),
+				Seed:       s.Seed,
+				Duration:   s.Duration,
+			},
+			Frames: res.Frames,
+		}
+	}
+	return out, nil
+}
+
+// ReadRecording parses a recording previously persisted with
+// Recording.Write.
+func ReadRecording(r io.Reader) (*Recording, error) { return offline.Read(r) }
+
+// WriteComparisonReport renders a before/after Markdown comparison of two
+// runs of the same scenario — one iteration of the debug loop.
+func WriteComparisonReport(w io.Writer, title string, before, after *ScenarioResult) error {
+	if before == nil || after == nil {
+		return fmt.Errorf("adassure: comparison needs both results")
+	}
+	onset := -1.0
+	if before.scenario.Attack != AttackNone {
+		onset = before.scenario.AttackStart
+	}
+	return report.WriteCompare(w, report.CompareInput{
+		Title:       title,
+		BeforeLabel: "before",
+		AfterLabel:  "after",
+		Before:      before.Sim,
+		After:       after.Sim,
+		BeforeViol:  before.Violations,
+		AfterViol:   after.Violations,
+		AttackOnset: onset,
+	})
+}
+
+// BuiltinTrack constructs one of the built-in routes with the given speed
+// limit, for use with SimConfig directly.
+func BuiltinTrack(name TrackName, speedLimit float64) (*Track, error) {
+	cat, err := track.Catalog(speedLimit)
+	if err != nil {
+		return nil, err
+	}
+	tr, ok := cat[string(name)]
+	if !ok {
+		return nil, fmt.Errorf("adassure: unknown track %q (have %v)", name, track.Names(cat))
+	}
+	return tr, nil
+}
+
+// TrackFromWaypoints builds a custom deployment route through the given
+// waypoints (splined; closed loops must not repeat the first point). Use
+// Track.WithZones to add per-segment speed restrictions.
+func TrackFromWaypoints(name string, waypoints []Waypoint, closed bool, speedLimit float64) (*Track, error) {
+	return track.FromWaypoints(name, waypoints, closed, speedLimit)
+}
+
+// StandardCampaign builds the canonical attack campaign for a class over
+// the given window, for use with SimConfig directly.
+func StandardCampaign(name AttackName, window AttackWindow, seed int64) (Campaign, error) {
+	return attacks.Standard(attacks.Class(name), window, seed)
+}
+
+// ShuttleParams returns the default low-speed shuttle platform parameters.
+func ShuttleParams() VehicleParams { return vehicle.ShuttleParams() }
+
+// SedanParams returns the faster passenger-car parameter set.
+func SedanParams() VehicleParams { return vehicle.SedanParams() }
+
+// RunSim executes a fully custom simulation configuration.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// DefaultLimits derives assertion limits from a vehicle envelope.
+func DefaultLimits(p VehicleParams) Limits {
+	return core.DefaultLimits(p.MaxSpeed, p.MaxLatAccel, p.MaxJerk, p.MaxSteer, p.MaxSteerRate, p.Wheelbase)
+}
+
+// Experiments returns the evaluation experiment registry (T1–T6, F1–F6);
+// each entry regenerates one table or figure of the paper reproduction.
+func Experiments() []harness.Experiment { return harness.All() }
+
+// RunExperiment regenerates one experiment by ID (e.g. "T1", "F4").
+func RunExperiment(id string, opts ExperimentOptions) (*Table, error) {
+	e, err := harness.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}

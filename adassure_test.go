@@ -1,0 +1,232 @@
+package adassure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScenarioDefaultsCleanRun(t *testing.T) {
+	out, err := Scenario{Duration: 30}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sim == nil || out.Sim.Steps == 0 {
+		t.Fatal("simulation did not run")
+	}
+	if len(out.Violations) != 0 {
+		t.Errorf("clean default scenario raised %d violations", len(out.Violations))
+	}
+	if len(out.Hypotheses) == 0 || out.Hypotheses[0].Cause != Cause("none") {
+		t.Errorf("clean scenario diagnosis = %+v", out.Hypotheses)
+	}
+	if !strings.Contains(out.Report(), "nominal") {
+		t.Error("clean report should read nominal")
+	}
+}
+
+func TestScenarioAttackDetectedAndDiagnosed(t *testing.T) {
+	out, err := Scenario{Attack: AttackStepSpoof}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected(20) {
+		t.Fatal("step spoof undetected")
+	}
+	if out.Hypotheses[0].Cause != Cause(AttackStepSpoof) {
+		t.Errorf("diagnosed %s, want step spoof", out.Hypotheses[0].Cause)
+	}
+	if !strings.Contains(out.Report(), "gnss-step-spoof") {
+		t.Error("report should name the top hypothesis")
+	}
+}
+
+func TestScenarioGuardedReducesImpact(t *testing.T) {
+	unguarded, err := Scenario{Attack: AttackDriftSpoof}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := Scenario{Attack: AttackDriftSpoof, Guarded: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Sim.MaxTrueCTE >= unguarded.Sim.MaxTrueCTE {
+		t.Errorf("guard did not reduce CTE: %.2f vs %.2f",
+			guarded.Sim.MaxTrueCTE, unguarded.Sim.MaxTrueCTE)
+	}
+}
+
+func TestScenarioUnknownTrack(t *testing.T) {
+	if _, err := (Scenario{Track: "nowhere"}).Run(); err == nil {
+		t.Error("unknown track accepted")
+	}
+}
+
+func TestScenarioUnknownAttack(t *testing.T) {
+	if _, err := (Scenario{Attack: "quantum"}).Run(); err == nil {
+		t.Error("unknown attack accepted")
+	}
+}
+
+func TestCustomAssertionViaDSL(t *testing.T) {
+	// A user-defined invariant: target speed must never exceed 10 m/s.
+	a := BoundAssertion("U1", "user-speed-cap", "target speed <= 10", SeverityWarning,
+		func(f Frame) (float64, bool) { return f.TargetSpeed, true }, 0, 10)
+	m := NewMonitor()
+	m.Add(a, Debounce{K: 1, N: 1})
+	m.Step(Frame{T: 1, Dt: 0.05, TargetSpeed: 12})
+	if len(m.Violations()) != 1 {
+		t.Fatal("custom assertion did not fire")
+	}
+	if m.Violations()[0].AssertionID != "U1" {
+		t.Error("wrong assertion id")
+	}
+}
+
+func TestAttackNames(t *testing.T) {
+	names := AttackNames()
+	if len(names) != 12 {
+		t.Errorf("attack names = %v", names)
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	tb, err := RunExperiment("F4", ExperimentOptions{Quick: true, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "F4" || len(tb.Rows) == 0 {
+		t.Errorf("experiment table = %+v", tb)
+	}
+	if _, err := RunExperiment("T99", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Experiments()) != 17 {
+		t.Errorf("registry size = %d, want 17", len(Experiments()))
+	}
+}
+
+func TestScenarioCustomTrackWithZones(t *testing.T) {
+	base, err := TrackFromWaypoints("plant-route", []Waypoint{
+		{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 80, Y: 15}, {X: 120, Y: 15}, {X: 170, Y: 0},
+	}, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := base.WithZones(SpeedZone{Start: 0, End: 20, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Scenario{CustomTrack: tr, Controller: ControllerLQRMPC, Duration: 90}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sim.Finished {
+		t.Errorf("custom route not completed: progress %.1f m", out.Sim.ProgressTotal)
+	}
+	if len(out.Violations) != 0 {
+		t.Errorf("clean custom route raised %v", out.Violations)
+	}
+	// The zone must cap the speed near route start.
+	if v, ok := out.Sim.Trace.At("target_speed", 3); !ok || v > 2.01 {
+		t.Errorf("zone target speed = %.2f, want <= 2", v)
+	}
+}
+
+func TestScenarioRecordFramesRoundtrip(t *testing.T) {
+	out, err := Scenario{Attack: AttackStepSpoof, Duration: 40, RecordFrames: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recording == nil || len(out.Recording.Frames) == 0 {
+		t.Fatal("recording missing")
+	}
+	if out.Recording.Meta.Attack != string(AttackStepSpoof) {
+		t.Errorf("meta = %+v", out.Recording.Meta)
+	}
+	var buf bytes.Buffer
+	if err := out.Recording.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline re-monitoring reproduces the online violations exactly.
+	vs := back.Monitor(CatalogConfig{IncludeGroundTruth: true})
+	if len(vs) != len(out.Violations) {
+		t.Errorf("offline %d vs online %d violations", len(vs), len(out.Violations))
+	}
+}
+
+func TestSegmentizePublicAPI(t *testing.T) {
+	vs := []Violation{
+		{AssertionID: "A1", T: 20, Duration: 0.3},
+		{AssertionID: "A5", T: 50, Duration: 10},
+	}
+	segs := Segmentize(vs, 5)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if !strings.Contains(SegmentReport(vs, 5), "incident 2") {
+		t.Error("segment report missing incident 2")
+	}
+}
+
+func TestMarkdownReportPublicAPI(t *testing.T) {
+	out, err := Scenario{Attack: AttackFreeze, Duration: 40}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteMarkdownReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# ADAssure report", "## Detection", "gnss-freeze"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+func TestScenarioComplementaryLocalizer(t *testing.T) {
+	out, err := Scenario{Localizer: "complementary", Duration: 30}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Errorf("clean complementary run raised %v", out.Violations)
+	}
+	if out.Sim.MaxTrueCTE > 1 {
+		t.Errorf("complementary tracking CTE %.2f m", out.Sim.MaxTrueCTE)
+	}
+	if _, err := (Scenario{Localizer: "kalman9000"}).Run(); err == nil {
+		t.Error("unknown localizer accepted")
+	}
+}
+
+func TestWriteComparisonReportPublicAPI(t *testing.T) {
+	base := Scenario{Attack: AttackDriftSpoof, Seed: 3, Duration: 50}
+	before, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := base
+	guarded.Guarded = true
+	after, err := guarded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparisonReport(&buf, "cmp", before, after); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# cmp", "| before | after |", "max |true CTE|"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("comparison missing %q", want)
+		}
+	}
+	if err := WriteComparisonReport(&buf, "x", nil, after); err == nil {
+		t.Error("nil before accepted")
+	}
+}

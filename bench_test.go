@@ -1,0 +1,183 @@
+// Benchmark harness: one testing.B benchmark per evaluation table and
+// figure (T1–T6, F1–F6), each regenerating the experiment from fresh
+// simulation runs, plus micro-benchmarks of the hot paths (monitor step,
+// EKF update, controller step, full closed-loop simulation second).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks use Quick options with a single seed so one
+// iteration stays in the seconds range; `cmd/adassure-bench` regenerates
+// the full-fidelity tables.
+package adassure
+
+import (
+	"io"
+	"testing"
+
+	"adassure/internal/attacks"
+	"adassure/internal/control"
+	"adassure/internal/core"
+	"adassure/internal/fusion"
+	"adassure/internal/geom"
+	"adassure/internal/sensors"
+	"adassure/internal/sim"
+	"adassure/internal/track"
+	"adassure/internal/vehicle"
+)
+
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{Quick: true, Seeds: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := RunExperiment(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per table -------------------------------------------
+
+func BenchmarkTable1DetectionMatrix(b *testing.B)      { benchExperiment(b, "T1") }
+func BenchmarkTable2DetectionLatency(b *testing.B)     { benchExperiment(b, "T2") }
+func BenchmarkTable3DetectionRates(b *testing.B)       { benchExperiment(b, "T3") }
+func BenchmarkTable4DiagnosisAccuracy(b *testing.B)    { benchExperiment(b, "T4") }
+func BenchmarkTable5ControllerComparison(b *testing.B) { benchExperiment(b, "T5") }
+func BenchmarkTable6DebugLoop(b *testing.B)            { benchExperiment(b, "T6") }
+
+// --- one benchmark per figure --------------------------------------------
+
+func BenchmarkFigure1CrossTrackSeries(b *testing.B)  { benchExperiment(b, "F1") }
+func BenchmarkFigure2Trajectory(b *testing.B)        { benchExperiment(b, "F2") }
+func BenchmarkFigure3LatencyCDF(b *testing.B)        { benchExperiment(b, "F3") }
+func BenchmarkFigure4MonitorOverhead(b *testing.B)   { benchExperiment(b, "F4") }
+func BenchmarkFigure5ThresholdAblation(b *testing.B) { benchExperiment(b, "F5") }
+func BenchmarkFigure6DebounceAblation(b *testing.B)  { benchExperiment(b, "F6") }
+
+// --- extension experiments -------------------------------------------------
+
+func BenchmarkExtensionX1GuardAblation(b *testing.B)      { benchExperiment(b, "X1") }
+func BenchmarkExtensionX2DriftRateSweep(b *testing.B)     { benchExperiment(b, "X2") }
+func BenchmarkExtensionX3StepMagnitudeSweep(b *testing.B) { benchExperiment(b, "X3") }
+func BenchmarkExtensionX4AssertionUtility(b *testing.B)   { benchExperiment(b, "X4") }
+func BenchmarkExtensionX5FusionAblation(b *testing.B)     { benchExperiment(b, "X5") }
+
+// --- micro-benchmarks of the hot paths -----------------------------------
+
+// BenchmarkMonitorStepFullCatalog measures the runtime-monitoring cost per
+// control frame with the complete catalog loaded — the number behind the
+// "negligible overhead" claim.
+func BenchmarkMonitorStepFullCatalog(b *testing.B) {
+	mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+	f := core.Frame{
+		T: 0, Dt: 0.05, EstSpeed: 5, GNSSValid: true, GNSSAge: 0.02,
+		GNSSSpeed: 5, OdomSpeed: 5, NIS: 1, NISFresh: true, TrueSpeed: 5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.T += 0.05
+		f.EstX += 0.25
+		f.GNSSX = f.EstX
+		f.Progress += 0.25
+		mon.Step(f)
+	}
+}
+
+// BenchmarkEKFPredictUpdate measures one IMU predict plus one GNSS update.
+func BenchmarkEKFPredictUpdate(b *testing.B) {
+	f := fusion.NewEKF(fusion.EKFConfig{}, 0, geom.NewPose(0, 0, 0), 5)
+	t := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 0.01
+		f.PredictIMU(sensors.IMUReading{T: t, YawRate: 0.01, Valid: true})
+		f.UpdateGNSS(sensors.GNSSFix{T: t, Pos: geom.V(5*t, 0), Valid: true})
+	}
+}
+
+// BenchmarkControllerSteer measures one lateral control step per built-in
+// controller on the urban loop.
+func BenchmarkControllerSteer(b *testing.B) {
+	tr, err := track.UrbanLoop(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ctrl := range control.All(vehicle.ShuttleParams()) {
+		b.Run(ctrl.Name(), func(b *testing.B) {
+			est := fusion.Estimate{Pose: geom.NewPose(10, 0.5, 0.05), Speed: 5}
+			for i := 0; i < b.N; i++ {
+				ctrl.Steer(est, tr.Path(), 0.05)
+			}
+		})
+	}
+}
+
+// BenchmarkPathProject measures point-to-path projection on the urban-loop
+// spline lattice (the geometry hot path of every control step).
+func BenchmarkPathProject(b *testing.B) {
+	tr, err := track.UrbanLoop(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := geom.V(45, 33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Path().Project(p)
+	}
+}
+
+// BenchmarkSimSecond measures one simulated second of the full closed loop
+// (physics + sensors + fusion + control + monitor) — the end-to-end
+// throughput number.
+func BenchmarkSimSecond(b *testing.B) {
+	tr, err := track.UrbanLoop(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+		_, err := sim.Run(sim.Config{
+			Track: tr, Controller: "pure-pursuit", Seed: 1,
+			Duration: 1, Monitor: mon, DisableTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttackApply measures the per-fix cost of the attack transforms.
+func BenchmarkAttackApply(b *testing.B) {
+	camp, err := attacks.Standard(attacks.ClassDriftSpoof, attacks.Window{Start: 0, End: 1e9}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fix := sensors.GNSSFix{T: 10, Pos: geom.V(1, 2), Valid: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp.GNSS.Apply(fix, 10)
+	}
+}
+
+// BenchmarkDiagnose measures the diagnosis cost on a realistic violation
+// record.
+func BenchmarkDiagnose(b *testing.B) {
+	var vs []Violation
+	for i := 0; i < 30; i++ {
+		vs = append(vs, Violation{AssertionID: "A10", T: 20 + float64(i), Duration: 0.5})
+	}
+	vs = append(vs, Violation{AssertionID: "A4", T: 20.15, Duration: 25})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diagnose(vs)
+	}
+}

@@ -1,0 +1,55 @@
+// Command adassure-bench regenerates the evaluation tables and figures
+// (T1–T6, F1–F6) from fresh simulation runs and prints them as aligned
+// plain-text tables — the reproduction counterpart of the paper's
+// evaluation section. See EXPERIMENTS.md for the expected shapes.
+//
+// Usage:
+//
+//	adassure-bench            # all experiments, default seeds
+//	adassure-bench -id T2     # one experiment
+//	adassure-bench -seeds 5   # more repetitions
+//	adassure-bench -quick     # fast smoke pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adassure"
+)
+
+func main() {
+	var (
+		id         = flag.String("id", "", "single experiment to run (T1..T6, F1..F6); empty = all")
+		seeds      = flag.Int("seeds", 3, "seeds per configuration")
+		quick      = flag.Bool("quick", false, "shorten runs for a smoke pass")
+		controller = flag.String("controller", "pure-pursuit", "default lateral controller")
+	)
+	flag.Parse()
+
+	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller}
+
+	run := func(eid string) {
+		start := time.Now()
+		tb, err := adassure.RunExperiment(eid, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adassure-bench: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", eid, time.Since(start).Seconds())
+	}
+
+	if *id != "" {
+		run(*id)
+		return
+	}
+	for _, e := range adassure.Experiments() {
+		run(e.ID)
+	}
+}

@@ -1,0 +1,70 @@
+// Command adassure-dataset generates a labelled violation-signature corpus
+// as CSV: it runs every attack class (plus clean runs) across seeds and
+// emits one feature row per run — per-assertion episode counts, longest
+// episode durations and first-detection latencies — for external analysis
+// or ML experimentation on top of the ADAssure evidence.
+//
+// Usage:
+//
+//	adassure-dataset -seeds 5 > corpus.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adassure/internal/attacks"
+	"adassure/internal/core"
+	"adassure/internal/coverage"
+	"adassure/internal/sim"
+	"adassure/internal/track"
+)
+
+func main() {
+	var (
+		seeds      = flag.Int("seeds", 5, "seeds per class")
+		controller = flag.String("controller", "pure-pursuit", "lateral controller")
+		duration   = flag.Float64("duration", 70, "run duration (s)")
+		onset      = flag.Float64("onset", 20, "attack onset (s)")
+		end        = flag.Float64("end", 50, "attack end (s)")
+	)
+	flag.Parse()
+
+	tr, err := track.UrbanLoop(6)
+	if err != nil {
+		fail(err)
+	}
+	classes := append([]attacks.Class{attacks.ClassNone}, attacks.StandardClasses()...)
+	var runs []coverage.Run
+	for _, class := range classes {
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			camp, err := attacks.Standard(class, attacks.Window{Start: *onset, End: *end}, seed)
+			if err != nil {
+				fail(err)
+			}
+			mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+			if _, err := sim.Run(sim.Config{
+				Track: tr, Controller: *controller, Seed: seed, Duration: *duration,
+				Campaign: camp, Monitor: mon, DisableTrace: true,
+			}); err != nil {
+				fail(err)
+			}
+			o := *onset
+			if class == attacks.ClassNone {
+				o = -1
+			}
+			runs = append(runs, coverage.Run{Label: string(class), Onset: o, Violations: mon.Violations()})
+			fmt.Fprintf(os.Stderr, "ran %s seed %d (%d violations)\n", class, seed, len(mon.Violations()))
+		}
+	}
+	ids := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true}).AssertionIDs()
+	if err := coverage.WriteDatasetCSV(os.Stdout, runs, ids); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "adassure-dataset:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command adassure-offline debugs recorded frame streams without
+// re-simulating: it re-monitors a recording (produced by
+// `adassure-sim -record`), renders single- or multi-incident reports, and
+// diffs threshold configurations — the record-once / debug-many half of
+// the methodology.
+//
+// Usage:
+//
+//	adassure-offline report rec.json                  # monitor + diagnosis
+//	adassure-offline segments rec.json                # multi-incident report
+//	adassure-offline diff rec.json -scale 0.75        # what tightening changes
+//	adassure-offline slice rec.json -from 18 -to 52   # diagnose a time window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adassure"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adassure-offline (report|segments|diff|slice) <recording.json> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	mode, path := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet("adassure-offline", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.75, "threshold scale for diff")
+	gap := fs.Float64("gap", 5, "quiet gap (s) separating incidents")
+	from := fs.Float64("from", 0, "slice start (s)")
+	to := fs.Float64("to", 0, "slice end (s)")
+	if err := fs.Parse(os.Args[3:]); err != nil {
+		os.Exit(2)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-offline:", err)
+		os.Exit(1)
+	}
+	rec, err := adassure.ReadRecording(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-offline:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recording: %s on %s (%s, seed %d), %d frames over %.1f s\n\n",
+		rec.Meta.Attack, rec.Meta.Track, rec.Meta.Controller, rec.Meta.Seed,
+		len(rec.Frames), rec.Duration())
+
+	cfg := adassure.CatalogConfig{IncludeGroundTruth: true}
+	switch mode {
+	case "report":
+		vs := rec.Monitor(cfg)
+		fmt.Print(adassure.DiagnosisReport(vs, 3))
+	case "segments":
+		vs := rec.Monitor(cfg)
+		fmt.Print(adassure.SegmentReport(vs, *gap))
+	case "diff":
+		diff := rec.Diff(cfg, adassure.CatalogConfig{IncludeGroundTruth: true, ThresholdScale: *scale})
+		if len(diff) == 0 {
+			fmt.Printf("no episode changes at scale %.2f\n", *scale)
+			return
+		}
+		fmt.Printf("episode deltas at threshold scale %.2f:\n", *scale)
+		for _, d := range diff {
+			fmt.Printf("  %-4s %d → %d\n", d.AssertionID, d.Before, d.After)
+		}
+	case "slice":
+		if *to <= *from {
+			fmt.Fprintln(os.Stderr, "adassure-offline: slice needs -from < -to")
+			os.Exit(2)
+		}
+		sub, err := rec.Slice(*from, *to)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-offline:", err)
+			os.Exit(1)
+		}
+		vs := sub.Monitor(cfg)
+		fmt.Print(adassure.DiagnosisReport(vs, 3))
+	default:
+		usage()
+	}
+}

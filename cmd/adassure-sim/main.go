@@ -1,0 +1,142 @@
+// Command adassure-sim runs one simulated driving scenario with the
+// ADAssure monitor attached and prints the run summary plus the debugging
+// report (violation timeline and ranked root causes).
+//
+// Usage:
+//
+//	adassure-sim -track urban-loop -controller pure-pursuit \
+//	    -attack gnss-drift-spoof -seed 1 -duration 70 [-guard] \
+//	    [-trace out.csv] [-json out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adassure"
+)
+
+func main() {
+	var (
+		trackName  = flag.String("track", "urban-loop", "track: straight|circle|s-curve|figure-eight|double-lane-change|urban-loop|hairpin")
+		controller = flag.String("controller", "pure-pursuit", "lateral controller: pure-pursuit|stanley|pid-lateral|lqr-mpc")
+		attack     = flag.String("attack", "none", "attack class (see adassure.AttackNames) or none")
+		seed       = flag.Int64("seed", 1, "random seed")
+		duration   = flag.Float64("duration", 70, "simulated seconds")
+		onset      = flag.Float64("attack-start", 20, "attack onset (s)")
+		end        = flag.Float64("attack-end", 50, "attack end (s)")
+		speedLimit = flag.Float64("speed-limit", 6, "route speed limit (m/s)")
+		guard      = flag.Bool("guard", false, "enable the assertion-guarded stack")
+		scale      = flag.Float64("threshold-scale", 1, "catalog threshold scale")
+		traceCSV   = flag.String("trace", "", "write the signal trace as CSV to this file")
+		traceJSON  = flag.String("json", "", "write the signal trace as JSON to this file")
+		reportMD   = flag.String("report", "", "write the full Markdown debugging report to this file")
+		recordOut  = flag.String("record", "", "write the frame recording (for offline re-monitoring) to this file")
+		list       = flag.Bool("list", false, "list available tracks, controllers and attacks, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("tracks:      straight circle s-curve figure-eight double-lane-change urban-loop hairpin")
+		fmt.Println("controllers: pure-pursuit stanley pid-lateral lqr-mpc")
+		fmt.Print("attacks:     none")
+		for _, a := range adassure.AttackNames() {
+			fmt.Printf(" %s", a)
+		}
+		fmt.Println()
+		return
+	}
+
+	scn := adassure.Scenario{
+		Track:          adassure.TrackName(*trackName),
+		Controller:     adassure.ControllerName(*controller),
+		Attack:         adassure.AttackName(*attack),
+		AttackStart:    *onset,
+		AttackEnd:      *end,
+		Seed:           *seed,
+		Duration:       *duration,
+		SpeedLimit:     *speedLimit,
+		Guarded:        *guard,
+		ThresholdScale: *scale,
+		RecordFrames:   *recordOut != "",
+	}
+	out, err := scn.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
+		os.Exit(1)
+	}
+
+	r := out.Sim
+	fmt.Printf("run: track=%s controller=%s attack=%s seed=%d guard=%v\n",
+		*trackName, *controller, *attack, *seed, *guard)
+	fmt.Printf("sim time %.1f s, %d control steps, progress %.1f m (%d laps)\n",
+		r.SimTime, r.Steps, r.ProgressTotal, r.Laps)
+	fmt.Printf("max |true CTE| %.2f m, RMS %.2f m, believed max %.2f m\n",
+		r.MaxTrueCTE, r.RMSTrueCTE, r.MaxEstCTE)
+	if r.Diverged {
+		fmt.Println("RUN DIVERGED: vehicle left the 100 m corridor")
+	}
+	if r.FallbackTime > 0 {
+		fmt.Printf("guard fallback active %.1f s\n", r.FallbackTime)
+	}
+	fmt.Println()
+	fmt.Print(out.Report())
+
+	if *traceCSV != "" && r.Trace != nil {
+		f, err := os.Create(*traceCSV)
+		if err == nil {
+			err = r.Trace.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-sim: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceCSV)
+	}
+	if *reportMD != "" {
+		f, err := os.Create(*reportMD)
+		if err == nil {
+			err = out.WriteMarkdownReport(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-sim: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *reportMD)
+	}
+	if *recordOut != "" && out.Recording != nil {
+		f, err := os.Create(*recordOut)
+		if err == nil {
+			err = out.Recording.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-sim: write recording:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recording written to %s\n", *recordOut)
+	}
+	if *traceJSON != "" && r.Trace != nil {
+		f, err := os.Create(*traceJSON)
+		if err == nil {
+			err = r.Trace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-sim: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceJSON)
+	}
+}

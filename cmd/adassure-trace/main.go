@@ -1,0 +1,58 @@
+// Command adassure-trace inspects recorded run traces: it lists the
+// signals of a JSON trace with summary statistics, or converts it to CSV.
+//
+// Usage:
+//
+//	adassure-trace stats run.json
+//	adassure-trace csv run.json > run.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"adassure/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adassure-trace (stats|csv) <trace.json>")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		usage()
+	}
+	mode, path := os.Args[1], os.Args[2]
+
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-trace:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.ReadJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-trace:", err)
+		os.Exit(1)
+	}
+
+	switch mode {
+	case "stats":
+		fmt.Printf("%-16s %8s %12s %12s %12s %12s\n", "signal", "samples", "min", "max", "mean", "rms")
+		for _, sig := range tr.Signals() {
+			st := tr.SignalStats(sig)
+			fmt.Printf("%-16s %8d %12.4f %12.4f %12.4f %12.4f\n",
+				sig, st.Count, st.Min, st.Max, st.Mean, st.RMS)
+		}
+	case "csv":
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-trace:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,71 @@
+package adassure_test
+
+import (
+	"fmt"
+
+	"adassure"
+)
+
+// The canonical workflow: run an attacked scenario, check detection, read
+// the top diagnosis.
+func ExampleScenario() {
+	out, err := adassure.Scenario{
+		Track:      adassure.TrackUrbanLoop,
+		Controller: adassure.ControllerPurePursuit,
+		Attack:     adassure.AttackStepSpoof,
+		Seed:       1,
+		Duration:   40,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("detected after onset:", out.Detected(20))
+	fmt.Println("top cause:", out.Hypotheses[0].Cause)
+	// Output:
+	// detected after onset: true
+	// top cause: gnss-step-spoof
+}
+
+// Custom invariants compose with the built-in catalog through the DSL.
+func ExampleBoundAssertion() {
+	speedCap := adassure.BoundAssertion(
+		"U1", "speed-cap", "target speed <= 10 m/s", adassure.SeverityWarning,
+		func(f adassure.Frame) (float64, bool) { return f.TargetSpeed, true },
+		0, 10,
+	)
+	m := adassure.NewMonitor()
+	m.Add(speedCap, adassure.Debounce{K: 1, N: 1})
+	m.Step(adassure.Frame{T: 1, Dt: 0.05, TargetSpeed: 12})
+	for _, v := range m.Violations() {
+		fmt.Printf("%s at t=%.2f\n", v.AssertionID, v.T)
+	}
+	// Output:
+	// U1 at t=1.00
+}
+
+// Diagnose works directly on violation records — no simulator required.
+func ExampleDiagnose() {
+	record := []adassure.Violation{
+		{AssertionID: "A5", T: 20.55, Duration: 30},
+		{AssertionID: "A4", T: 51.0, Duration: 1},
+	}
+	hyps := adassure.Diagnose(record)
+	fmt.Println(hyps[0].Cause)
+	// Output:
+	// gnss-dropout
+}
+
+// Segmentize untangles drives containing several incidents.
+func ExampleSegmentize() {
+	record := []adassure.Violation{
+		{AssertionID: "A1", T: 20.0, Duration: 0.3},
+		{AssertionID: "A10", T: 20.2, Duration: 1},
+		{AssertionID: "A5", T: 50.0, Duration: 10},
+	}
+	for i, seg := range adassure.Segmentize(record, 5) {
+		fmt.Printf("incident %d: %d episodes from t=%.1f\n", i+1, len(seg.Violations), seg.Start)
+	}
+	// Output:
+	// incident 1: 2 episodes from t=20.0
+	// incident 2: 1 episodes from t=50.0
+}

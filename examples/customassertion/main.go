@@ -1,0 +1,71 @@
+// Custom assertion: extend the catalog with a project-specific invariant
+// using the assertion DSL and run it against a custom simulation
+// configuration — the integration path for teams with their own safety
+// requirements.
+//
+//	go run ./examples/customassertion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"adassure"
+)
+
+func main() {
+	// Project rule: on this deployment route the shuttle must never be
+	// commanded above 5 m/s within 15 m of route start/end (a depot zone).
+	depot := adassure.BoundAssertion(
+		"D1", "depot-speed-cap",
+		"target speed <= 5 m/s inside the depot zone", adassure.SeverityCritical,
+		func(f adassure.Frame) (float64, bool) {
+			const zone = 15.0
+			if f.Progress > zone { // only the first 15 m of the route
+				return 0, false
+			}
+			return f.TargetSpeed, true
+		},
+		math.Inf(-1), 5,
+	)
+
+	// Second rule via the rate combinator: steering rate as commanded must
+	// stay under the actuator's slew capability with margin.
+	steerRate := adassure.RateAssertion(
+		"D2", "steer-rate-cap",
+		"commanded steering slew <= 1.6 rad/s", adassure.SeverityWarning,
+		func(f adassure.Frame) (float64, bool) { return f.CmdSteer, true },
+		1.6,
+	)
+
+	// Assemble: built-in catalog + the two custom assertions.
+	mon := adassure.NewCatalogMonitor(adassure.CatalogConfig{})
+	mon.Add(depot, adassure.Debounce{K: 2, N: 3})
+	mon.Add(steerRate, adassure.Debounce{K: 3, N: 4})
+
+	trk, err := adassure.BuiltinTrack(adassure.TrackUrbanLoop, 8) // 8 m/s limit > depot cap
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := adassure.RunSim(adassure.SimConfig{
+		Track:      trk,
+		Controller: string(adassure.ControllerLQRMPC),
+		Seed:       1,
+		Duration:   60,
+		Monitor:    mon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run finished: %.1f m progress, max CTE %.2f m\n\n", res.ProgressTotal, res.MaxTrueCTE)
+	fmt.Printf("monitored assertions: %v\n", mon.AssertionIDs())
+	fmt.Printf("violations: %d\n", len(mon.Violations()))
+	for _, v := range mon.Violations() {
+		fmt.Printf("  t=%6.2fs %-4s %s\n", v.T, v.AssertionID, v.Message)
+	}
+	if len(mon.Violations()) == 0 {
+		fmt.Println("  (none — the speed plan already honours the depot cap; try raising the route limit)")
+	}
+}

@@ -1,0 +1,66 @@
+// Debug loop: the full ADAssure methodology in one program.
+//
+//  1. Drive the scenario with the monitor attached and observe the failure.
+//
+//  2. Diagnose the root cause from the violation signature.
+//
+//  3. Apply the fix the diagnosis recommends (the assertion-guarded stack).
+//
+//  4. Re-run and confirm the failure is mitigated.
+//
+//     go run ./examples/debugloop
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"adassure"
+)
+
+func main() {
+	base := adassure.Scenario{
+		Track:      adassure.TrackUrbanLoop,
+		Controller: adassure.ControllerPurePursuit,
+		Attack:     adassure.AttackDriftSpoof,
+		Seed:       3,
+		Duration:   70,
+	}
+
+	// Step 1: observe the failure.
+	fmt.Println("step 1 — drive the scenario (unguarded stack)")
+	before, err := base.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  max true deviation: %.2f m — the shuttle silently left its route\n\n", before.Sim.MaxTrueCTE)
+
+	// Step 2: diagnose.
+	fmt.Println("step 2 — diagnose from the assertion evidence")
+	top := before.Hypotheses[0]
+	fmt.Printf("  top hypothesis: %s (%.0f%% confidence)\n", top.Cause, top.Confidence*100)
+	fmt.Printf("  rationale: %s\n\n", top.Rationale)
+
+	// Step 3: apply the fix — the χ²-gated fusion with assertion-triggered
+	// dead-reckoning fallback and minimum-risk stop.
+	fmt.Println("step 3 — apply the guarded stack the diagnosis recommends")
+	fixed := base
+	fixed.Guarded = true
+
+	// Step 4: re-run and verify.
+	fmt.Println("step 4 — re-run and verify")
+	after, err := fixed.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  max true deviation: %.2f m (was %.2f m) — %.1f× improvement\n",
+		after.Sim.MaxTrueCTE, before.Sim.MaxTrueCTE,
+		before.Sim.MaxTrueCTE/after.Sim.MaxTrueCTE)
+	fmt.Printf("  fallback active for %.1f s of the attack window\n\n", after.Sim.FallbackTime)
+
+	// The comparison report is the artifact you attach to the ticket.
+	if err := adassure.WriteComparisonReport(os.Stdout, "drift spoof: unguarded vs guarded", before, after); err != nil {
+		log.Fatal(err)
+	}
+}

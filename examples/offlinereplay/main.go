@@ -1,0 +1,67 @@
+// Offline replay: record one drive, then debug it many times without
+// re-simulating — re-monitor under different threshold configurations,
+// diff the outcomes, and zoom into the attack window. This mirrors the
+// original study's workflow of analysing recorded shuttle drives.
+//
+//	go run ./examples/offlinereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"adassure"
+)
+
+func main() {
+	// 1. Record one attacked drive (this is the only simulation run).
+	out, err := adassure.Scenario{
+		Attack:       adassure.AttackMeander,
+		Seed:         1,
+		RecordFrames: true,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := out.Recording
+	fmt.Printf("recorded %d frames (%.1f s of driving)\n\n", len(rec.Frames), rec.Duration())
+
+	// 2. Persist and reload — in practice this is a file handed to the
+	// debugging engineer.
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := adassure.ReadRecording(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Re-monitor offline at the default configuration: identical to the
+	// online result, no simulator needed.
+	vs := loaded.Monitor(adassure.CatalogConfig{IncludeGroundTruth: true})
+	fmt.Printf("offline monitoring: %d violation episodes (online saw %d)\n\n", len(vs), len(out.Violations))
+
+	// 4. What would tightening every threshold by 25%% change on this
+	// exact drive?
+	diff := loaded.Diff(
+		adassure.CatalogConfig{IncludeGroundTruth: true},
+		adassure.CatalogConfig{IncludeGroundTruth: true, ThresholdScale: 0.75},
+	)
+	fmt.Println("episode deltas when tightening thresholds to 0.75×:")
+	for _, d := range diff {
+		fmt.Printf("  %-4s %d → %d\n", d.AssertionID, d.Before, d.After)
+	}
+	if len(diff) == 0 {
+		fmt.Println("  (no change)")
+	}
+
+	// 5. Zoom into the attack window and diagnose just that slice.
+	slice, err := loaded.Slice(18, 52)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hyps := slice.Diagnose(adassure.CatalogConfig{IncludeGroundTruth: true})
+	fmt.Printf("\ndiagnosis of the 18–52 s slice: %s (%.0f%%)\n", hyps[0].Cause, hyps[0].Confidence*100)
+}

@@ -1,0 +1,3 @@
+module adassure
+
+go 1.22

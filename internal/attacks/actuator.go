@@ -1,0 +1,88 @@
+package attacks
+
+import (
+	"fmt"
+
+	"adassure/internal/vehicle"
+)
+
+// Additional fault classes on the actuation path. Unlike the sensor
+// attacks these corrupt the command *after* the controller, modelling a
+// compromised drive-by-wire node or a mechanical fault — the other half of
+// the debugging surface (the controller believes it is steering; the
+// vehicle is not).
+const (
+	ClassStuckSteer  Class = "actuator-stuck-steer"
+	ClassSteerOffset Class = "actuator-steer-offset"
+)
+
+// ActuatorAttack transforms the command stream between the controller and
+// the plant.
+type ActuatorAttack interface {
+	Name() string
+	Class() Class
+	Window() Window
+	// Apply transforms the command issued at time t.
+	Apply(cmd vehicle.Command, t float64) vehicle.Command
+}
+
+// StuckSteer freezes the steering command at the value observed at attack
+// onset (a latched drive-by-wire fault).
+type StuckSteer struct {
+	base
+	latched   bool
+	heldShown float64
+}
+
+// NewStuckSteer constructs a stuck-steering fault.
+func NewStuckSteer(win Window) (*StuckSteer, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	return &StuckSteer{base: base{name: "stuck-steer", class: ClassStuckSteer, win: win}}, nil
+}
+
+// Apply implements ActuatorAttack.
+func (a *StuckSteer) Apply(cmd vehicle.Command, t float64) vehicle.Command {
+	if !a.win.Contains(t) {
+		a.latched = false
+		return cmd
+	}
+	if !a.latched {
+		a.heldShown = cmd.Steer
+		a.latched = true
+	}
+	cmd.Steer = a.heldShown
+	return cmd
+}
+
+// SteerOffset adds a constant bias to the executed steering (a bent
+// linkage, a miscalibrated steer-by-wire zero, or an injected CAN offset).
+type SteerOffset struct {
+	base
+	Offset float64
+}
+
+// NewSteerOffset constructs a steering-offset fault.
+func NewSteerOffset(win Window, offset float64) (*SteerOffset, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	if offset == 0 {
+		return nil, fmt.Errorf("attacks: steer offset must be non-zero")
+	}
+	return &SteerOffset{base: base{name: fmt.Sprintf("steer-offset(%+.2frad)", offset), class: ClassSteerOffset, win: win}, Offset: offset}, nil
+}
+
+// Apply implements ActuatorAttack.
+func (a *SteerOffset) Apply(cmd vehicle.Command, t float64) vehicle.Command {
+	if a.win.Contains(t) {
+		cmd.Steer += a.Offset
+	}
+	return cmd
+}
+
+var (
+	_ ActuatorAttack = (*StuckSteer)(nil)
+	_ ActuatorAttack = (*SteerOffset)(nil)
+)

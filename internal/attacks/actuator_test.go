@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"testing"
+
+	"adassure/internal/vehicle"
+)
+
+func TestStuckSteerLatchesAtOnset(t *testing.T) {
+	a, err := NewStuckSteer(Window{Start: 10, End: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the window: pass-through.
+	out := a.Apply(vehicle.Command{Steer: 0.3, Accel: 1}, 5)
+	if out.Steer != 0.3 {
+		t.Error("pre-window command modified")
+	}
+	// First in-window command is latched.
+	out = a.Apply(vehicle.Command{Steer: 0.1}, 10.5)
+	if out.Steer != 0.1 {
+		t.Errorf("latch value = %g", out.Steer)
+	}
+	// Subsequent commands are overridden with the latched value.
+	out = a.Apply(vehicle.Command{Steer: -0.4, Accel: 2}, 15)
+	if out.Steer != 0.1 {
+		t.Errorf("stuck steer = %g, want 0.1", out.Steer)
+	}
+	if out.Accel != 2 {
+		t.Error("accel channel must pass through")
+	}
+	// After the window: released.
+	out = a.Apply(vehicle.Command{Steer: -0.4}, 25)
+	if out.Steer != -0.4 {
+		t.Error("post-window command modified")
+	}
+	// Re-entry (new window instance semantics): re-latches fresh.
+	b, _ := NewStuckSteer(Window{Start: 30, End: 40})
+	b.Apply(vehicle.Command{Steer: 0.2}, 31)
+	if got := b.Apply(vehicle.Command{Steer: 0.5}, 35); got.Steer != 0.2 {
+		t.Errorf("second latch = %g", got.Steer)
+	}
+}
+
+func TestSteerOffset(t *testing.T) {
+	a, err := NewSteerOffset(Window{Start: 10, End: 20}, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := a.Apply(vehicle.Command{Steer: 0.1}, 15); out.Steer != 0.18 {
+		t.Errorf("offset steer = %g", out.Steer)
+	}
+	if out := a.Apply(vehicle.Command{Steer: 0.1}, 25); out.Steer != 0.1 {
+		t.Error("offset active outside window")
+	}
+	if _, err := NewSteerOffset(Window{}, 0); err == nil {
+		t.Error("zero offset accepted")
+	}
+}
+
+func TestActuatorCampaignPlumbing(t *testing.T) {
+	camp, err := Standard(ClassStuckSteer, Window{Start: 5, End: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Actuator == nil || camp.Class() != ClassStuckSteer || camp.Onset() != 5 {
+		t.Errorf("campaign = %+v", camp)
+	}
+	if camp.Name() != "stuck-steer" {
+		t.Errorf("name = %q", camp.Name())
+	}
+	if n := len(StandardClasses()); n != 12 {
+		t.Errorf("standard classes = %d, want 12", n)
+	}
+}

@@ -1,0 +1,317 @@
+package attacks
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adassure/internal/geom"
+	"adassure/internal/sensors"
+)
+
+func fixAt(t float64, x, y float64) sensors.GNSSFix {
+	return sensors.GNSSFix{T: t, Pos: geom.V(x, y), Valid: true}
+}
+
+func TestWindow(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	if w.Contains(9.99) || !w.Contains(10) || !w.Contains(19.99) || w.Contains(20) {
+		t.Error("window boundary semantics wrong")
+	}
+	open := Window{Start: 5}
+	if !open.Contains(1e9) {
+		t.Error("open-ended window should contain any t >= start")
+	}
+	if err := (Window{Start: -1}).Validate(); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := (Window{Start: 5, End: 5}).Validate(); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := (Window{Start: 5, End: 10}).Validate(); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+}
+
+func TestStepSpoof(t *testing.T) {
+	a, err := NewStepSpoof(Window{Start: 10, End: 20}, geom.V(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := a.Apply(fixAt(5, 1, 1), 5)
+	if before.Pos != geom.V(1, 1) {
+		t.Error("spoof active before window")
+	}
+	during, deliver := a.Apply(fixAt(15, 1, 1), 15)
+	if !deliver || during.Pos != geom.V(1, 6) {
+		t.Errorf("spoof offset wrong: %v", during.Pos)
+	}
+	after, _ := a.Apply(fixAt(25, 1, 1), 25)
+	if after.Pos != geom.V(1, 1) {
+		t.Error("spoof active after window")
+	}
+	if _, err := NewStepSpoof(Window{}, geom.Vec2{}); err == nil {
+		t.Error("zero offset accepted")
+	}
+	if _, err := NewStepSpoof(Window{}, geom.V(math.NaN(), 0)); err == nil {
+		t.Error("NaN offset accepted")
+	}
+}
+
+func TestDriftSpoofGrowsAndSaturates(t *testing.T) {
+	a, err := NewDriftSpoof(Window{Start: 10}, geom.V(0, 1), 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(ts float64) float64 {
+		f, _ := a.Apply(fixAt(ts, 0, 0), ts)
+		return f.Pos.Y
+	}
+	if got := at(10); got != 0 {
+		t.Errorf("offset at onset = %g", got)
+	}
+	if got := at(14); math.Abs(got-2) > 1e-9 {
+		t.Errorf("offset at +4s = %g, want 2", got)
+	}
+	if got := at(100); math.Abs(got-4) > 1e-9 {
+		t.Errorf("offset should saturate at 4, got %g", got)
+	}
+	if _, err := NewDriftSpoof(Window{}, geom.V(1, 0), -1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewDriftSpoof(Window{}, geom.Vec2{}, 1, 0); err == nil {
+		t.Error("zero direction accepted")
+	}
+}
+
+func TestReplayDeliversStalePositions(t *testing.T) {
+	a, err := NewReplay(Window{Start: 10, End: 20}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-attack: vehicle moves along x at 1 m/s, fixes every 0.5 s.
+	for ts := 0.0; ts < 10; ts += 0.5 {
+		f, deliver := a.Apply(fixAt(ts, ts, 0), ts)
+		if !deliver || f.Pos.X != ts {
+			t.Fatalf("pre-attack pass-through broken at t=%g", ts)
+		}
+	}
+	// During attack at t=12 the victim should see the fix from t≈7.
+	f, deliver := a.Apply(fixAt(12, 12, 0), 12)
+	if !deliver {
+		t.Fatal("replay dropped fix")
+	}
+	if math.Abs(f.Pos.X-7) > 0.5 {
+		t.Errorf("replayed position x=%g, want ~7", f.Pos.X)
+	}
+	if f.T != 12 {
+		t.Errorf("replayed fix must be re-stamped: T=%g", f.T)
+	}
+	if _, err := NewReplay(Window{Start: 2}, 5); err == nil {
+		t.Error("window earlier than capture lead accepted")
+	}
+}
+
+func TestFreezeHoldsLastFix(t *testing.T) {
+	a, err := NewFreeze(Window{Start: 10, End: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Apply(fixAt(9.9, 3, 4), 9.9)
+	f, deliver := a.Apply(fixAt(15, 100, 100), 15)
+	if !deliver || f.Pos != geom.V(3, 4) {
+		t.Errorf("freeze should hold (3,4), got %v", f.Pos)
+	}
+	if f.T != 15 {
+		t.Errorf("frozen fix should be re-stamped, got T=%g", f.T)
+	}
+	// Before any capture, degrade to pass-through.
+	b, _ := NewFreeze(Window{Start: 0})
+	f, _ = b.Apply(fixAt(1, 7, 7), 1)
+	if f.Pos != geom.V(7, 7) {
+		t.Error("freeze without history should pass through")
+	}
+}
+
+func TestDelayBuffersFixes(t *testing.T) {
+	a, err := NewDelay(Window{Start: 10, End: 30}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass-through before the window.
+	f, deliver := a.Apply(fixAt(5, 1, 0), 5)
+	if !deliver || f.Pos.X != 1 {
+		t.Error("pre-window pass-through broken")
+	}
+	// During the window: fix at t=10 is held.
+	if _, deliver := a.Apply(fixAt(10, 2, 0), 10); deliver {
+		t.Error("fix should be delayed, not delivered")
+	}
+	// Subsequent fixes release the head once t >= 11.
+	if _, deliver := a.Apply(fixAt(10.5, 3, 0), 10.5); deliver {
+		t.Error("head released too early")
+	}
+	f, deliver = a.Apply(fixAt(11.2, 4, 0), 11.2)
+	if !deliver || f.Pos.X != 2 {
+		t.Errorf("head release wrong: deliver=%v pos=%v", deliver, f.Pos)
+	}
+	if _, err := NewDelay(Window{}, 0); err == nil {
+		t.Error("zero delay accepted")
+	}
+}
+
+func TestDropoutFullAndPartial(t *testing.T) {
+	full, err := NewDropout(Window{Start: 0, End: 10}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, deliver := full.Apply(fixAt(5, 0, 0), 5); deliver {
+		t.Error("full dropout delivered a fix")
+	}
+	if _, deliver := full.Apply(fixAt(15, 0, 0), 15); !deliver {
+		t.Error("dropout active outside window")
+	}
+	part, err := NewDropout(Window{Start: 0, End: 100}, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, deliver := part.Apply(fixAt(float64(i)*0.05, 0, 0), float64(i)*0.05); deliver {
+			kept++
+		}
+	}
+	if frac := float64(kept) / n; math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("partial dropout kept %.2f, want ~0.5", frac)
+	}
+	if _, err := NewDropout(Window{}, 1.5, 1); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestNoiseInflation(t *testing.T) {
+	a, err := NewNoiseInflation(Window{Start: 0, End: 1000}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		f, _ := a.Apply(fixAt(float64(i)*0.1, 0, 0), float64(i)*0.1)
+		sum += f.Pos.X
+		sumSq += f.Pos.X * f.Pos.X
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("noise mean = %g", mean)
+	}
+	if math.Abs(std-2) > 0.15 {
+		t.Errorf("noise std = %g, want ~2", std)
+	}
+}
+
+func TestMeanderOscillates(t *testing.T) {
+	a, err := NewMeander(Window{Start: 0}, 3, 8, geom.V(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(ts float64) float64 {
+		f, _ := a.Apply(fixAt(ts, 0, 0), ts)
+		return f.Pos.Y
+	}
+	if math.Abs(at(2)-3) > 1e-9 { // quarter period → peak
+		t.Errorf("peak = %g, want 3", at(2))
+	}
+	if math.Abs(at(4)) > 1e-9 { // half period → zero
+		t.Errorf("mid = %g, want 0", at(4))
+	}
+	if math.Abs(at(6)+3) > 1e-9 { // three-quarter → trough
+		t.Errorf("trough = %g, want -3", at(6))
+	}
+}
+
+func TestIMUHeadingBias(t *testing.T) {
+	a, err := NewIMUHeadingBias(Window{Start: 5}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := a.Apply(sensors.IMUReading{T: 10, Heading: 3.0, Valid: true}, 10)
+	want := geom.NormalizeAngle(3.3)
+	if math.Abs(r.Heading-want) > 1e-12 {
+		t.Errorf("biased heading = %g, want %g (normalised)", r.Heading, want)
+	}
+	if _, err := NewIMUHeadingBias(Window{}, 0); err == nil {
+		t.Error("zero bias accepted")
+	}
+}
+
+func TestOdomScale(t *testing.T) {
+	a, err := NewOdomScale(Window{Start: 0}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := a.Apply(sensors.OdomReading{T: 1, Speed: 4, Valid: true}, 1)
+	if r.Speed != 6 {
+		t.Errorf("scaled speed = %g", r.Speed)
+	}
+	if _, err := NewOdomScale(Window{}, 1); err == nil {
+		t.Error("identity factor accepted")
+	}
+}
+
+func TestStandardCampaigns(t *testing.T) {
+	win := Window{Start: 15, End: 60}
+	for _, class := range StandardClasses() {
+		c, err := Standard(class, win, 1)
+		if err != nil {
+			t.Fatalf("Standard(%s): %v", class, err)
+		}
+		if c.Class() != class {
+			t.Errorf("campaign class = %s, want %s", c.Class(), class)
+		}
+		if c.Name() == "" || c.Name() == "clean" {
+			t.Errorf("campaign %s has bad name %q", class, c.Name())
+		}
+		if c.Onset() != 15 {
+			t.Errorf("campaign %s onset = %g", class, c.Onset())
+		}
+	}
+	clean, err := Standard(ClassNone, win, 1)
+	if err != nil || clean.Class() != ClassNone || clean.Name() != "clean" || clean.Onset() != -1 {
+		t.Errorf("clean campaign wrong: %+v err=%v", clean, err)
+	}
+	if _, err := Standard(Class("bogus"), win, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestAttacksInactiveOutsideWindowProperty(t *testing.T) {
+	win := Window{Start: 50, End: 60}
+	mk := func() []GNSSAttack {
+		step, _ := NewStepSpoof(win, geom.V(3, 0))
+		drift, _ := NewDriftSpoof(win, geom.V(1, 0), 1, 0)
+		noise, _ := NewNoiseInflation(win, 1, 3)
+		meander, _ := NewMeander(win, 2, 5, geom.V(1, 0))
+		return []GNSSAttack{step, drift, noise, meander}
+	}
+	as := mk()
+	f := func(ts float64) bool {
+		if math.IsNaN(ts) || math.IsInf(ts, 0) {
+			return true
+		}
+		ts = math.Abs(math.Mod(ts, 50)) // always before the window
+		in := fixAt(ts, 1, 2)
+		for _, a := range as {
+			out, deliver := a.Apply(in, ts)
+			if !deliver || out.Pos != in.Pos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package attacks
+
+import (
+	"fmt"
+	"sort"
+
+	"adassure/internal/geom"
+	"adassure/internal/sensors"
+)
+
+// IMUAttack transforms the IMU reading stream.
+type IMUAttack interface {
+	Name() string
+	Class() Class
+	Window() Window
+	Apply(r sensors.IMUReading, t float64) (sensors.IMUReading, bool)
+}
+
+// OdomAttack transforms the odometry reading stream.
+type OdomAttack interface {
+	Name() string
+	Class() Class
+	Window() Window
+	Apply(r sensors.OdomReading, t float64) (sensors.OdomReading, bool)
+}
+
+// IMUHeadingBias injects a constant heading offset into IMU readings —
+// e.g. a compromised sensor-fusion node or magnetometer interference.
+type IMUHeadingBias struct {
+	base
+	Bias float64
+}
+
+// NewIMUHeadingBias constructs an IMU heading-bias attack.
+func NewIMUHeadingBias(win Window, bias float64) (*IMUHeadingBias, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	if bias == 0 {
+		return nil, fmt.Errorf("attacks: IMU heading bias must be non-zero")
+	}
+	return &IMUHeadingBias{base: base{name: fmt.Sprintf("imu-heading-bias(%.2frad)", bias), class: ClassIMUHeadingBias, win: win}, Bias: bias}, nil
+}
+
+// Apply implements IMUAttack.
+func (a *IMUHeadingBias) Apply(r sensors.IMUReading, t float64) (sensors.IMUReading, bool) {
+	if a.win.Contains(t) {
+		r.Heading = geom.NormalizeAngle(r.Heading + a.Bias)
+	}
+	return r, true
+}
+
+// OdomScale multiplies reported wheel speed by a factor — e.g. a spoofed
+// wheel-speed CAN message or a tire-circumference miscalibration exploit.
+type OdomScale struct {
+	base
+	Factor float64
+}
+
+// NewOdomScale constructs an odometry scaling attack.
+func NewOdomScale(win Window, factor float64) (*OdomScale, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	if factor <= 0 || factor == 1 {
+		return nil, fmt.Errorf("attacks: odom scale factor must be positive and != 1, got %g", factor)
+	}
+	return &OdomScale{base: base{name: fmt.Sprintf("odom-scale(×%.2f)", factor), class: ClassOdomScale, win: win}, Factor: factor}, nil
+}
+
+// Apply implements OdomAttack.
+func (a *OdomScale) Apply(r sensors.OdomReading, t float64) (sensors.OdomReading, bool) {
+	if a.win.Contains(t) {
+		r.Speed *= a.Factor
+	}
+	return r, true
+}
+
+// Campaign bundles the attacks active in one simulation run, at most one
+// per channel (the experiments inject a single root cause per run so the
+// diagnosis ground truth is unambiguous).
+type Campaign struct {
+	GNSS     GNSSAttack
+	IMU      IMUAttack
+	Odom     OdomAttack
+	Actuator ActuatorAttack
+}
+
+// Class returns the ground-truth class of the campaign: the class of its
+// single attack, or ClassNone for a clean run.
+func (c Campaign) Class() Class {
+	switch {
+	case c.GNSS != nil:
+		return c.GNSS.Class()
+	case c.IMU != nil:
+		return c.IMU.Class()
+	case c.Odom != nil:
+		return c.Odom.Class()
+	case c.Actuator != nil:
+		return c.Actuator.Class()
+	}
+	return ClassNone
+}
+
+// Name returns a human-readable identifier for the campaign.
+func (c Campaign) Name() string {
+	switch {
+	case c.GNSS != nil:
+		return c.GNSS.Name()
+	case c.IMU != nil:
+		return c.IMU.Name()
+	case c.Odom != nil:
+		return c.Odom.Name()
+	case c.Actuator != nil:
+		return c.Actuator.Name()
+	}
+	return "clean"
+}
+
+// Onset returns the activation time of the campaign's attack, or -1 for a
+// clean campaign.
+func (c Campaign) Onset() float64 {
+	switch {
+	case c.GNSS != nil:
+		return c.GNSS.Window().Start
+	case c.IMU != nil:
+		return c.IMU.Window().Start
+	case c.Odom != nil:
+		return c.Odom.Window().Start
+	case c.Actuator != nil:
+		return c.Actuator.Window().Start
+	}
+	return -1
+}
+
+// StandardClasses lists the attack classes exercised by the experiment
+// harness, in stable order.
+func StandardClasses() []Class {
+	cs := []Class{
+		ClassStepSpoof, ClassDriftSpoof, ClassReplay, ClassFreeze,
+		ClassDelay, ClassDropout, ClassNoiseInflation, ClassMeander,
+		ClassIMUHeadingBias, ClassOdomScale,
+		ClassStuckSteer, ClassSteerOffset,
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Standard builds the canonical campaign for a class, with the paper-style
+// default parameters, activating over the given window. The seed feeds the
+// stochastic attacks (dropout, noise inflation).
+func Standard(class Class, win Window, seed int64) (Campaign, error) {
+	switch class {
+	case ClassNone:
+		return Campaign{}, nil
+	case ClassStepSpoof:
+		a, err := NewStepSpoof(win, geom.V(0, 5))
+		return Campaign{GNSS: a}, err
+	case ClassDriftSpoof:
+		a, err := NewDriftSpoof(win, geom.V(0, 1), 0.5, 15)
+		return Campaign{GNSS: a}, err
+	case ClassReplay:
+		a, err := NewReplay(win, 10)
+		return Campaign{GNSS: a}, err
+	case ClassFreeze:
+		a, err := NewFreeze(win)
+		return Campaign{GNSS: a}, err
+	case ClassDelay:
+		a, err := NewDelay(win, 1.0)
+		return Campaign{GNSS: a}, err
+	case ClassDropout:
+		a, err := NewDropout(win, 1.0, seed)
+		return Campaign{GNSS: a}, err
+	case ClassNoiseInflation:
+		a, err := NewNoiseInflation(win, 2.0, seed)
+		return Campaign{GNSS: a}, err
+	case ClassMeander:
+		a, err := NewMeander(win, 3.0, 8.0, geom.V(0, 1))
+		return Campaign{GNSS: a}, err
+	case ClassIMUHeadingBias:
+		a, err := NewIMUHeadingBias(win, 0.3)
+		return Campaign{IMU: a}, err
+	case ClassOdomScale:
+		a, err := NewOdomScale(win, 1.5)
+		return Campaign{Odom: a}, err
+	case ClassStuckSteer:
+		a, err := NewStuckSteer(win)
+		return Campaign{Actuator: a}, err
+	case ClassSteerOffset:
+		a, err := NewSteerOffset(win, 0.08)
+		return Campaign{Actuator: a}, err
+	}
+	return Campaign{}, fmt.Errorf("attacks: unknown class %q", class)
+}
+
+var (
+	_ IMUAttack  = (*IMUHeadingBias)(nil)
+	_ OdomAttack = (*OdomScale)(nil)
+)

@@ -1,0 +1,342 @@
+// Package control implements the driving-control algorithms under debug:
+// four lateral controllers (Pure Pursuit, Stanley, lateral PID, and an
+// LQR-based linear MPC) and a longitudinal PID speed controller. Each
+// lateral controller has a distinct, well-known weakness signature that the
+// ADAssure assertion catalog is designed to surface — corner-cutting for
+// Pure Pursuit, high-speed oscillation for Stanley, phase lag for PID —
+// which is the substance of the debugging methodology.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"adassure/internal/fusion"
+	"adassure/internal/geom"
+	"adassure/internal/vehicle"
+)
+
+// Lateral computes a steering command from the localization estimate and
+// the reference path. Implementations keep internal state (integrators,
+// previous errors) and are reset per run.
+type Lateral interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Steer returns the desired steering angle in radians for the current
+	// estimate. dt is the control period.
+	Steer(est fusion.Estimate, path geom.Path, dt float64) float64
+	// Reset clears internal state for a fresh run.
+	Reset()
+}
+
+// refErrors computes the standard tracking errors of an estimate against
+// a path: arc position, signed cross-track error, heading error and path
+// curvature at the projection.
+func refErrors(est fusion.Estimate, path geom.Path) (s, cte, headingErr, kappa float64) {
+	s, cte = path.Project(est.Pose.Pos)
+	headingErr = geom.AngleDiff(est.Pose.Heading, path.HeadingAt(s))
+	kappa = path.CurvatureAt(s)
+	return s, cte, headingErr, kappa
+}
+
+// PurePursuit is the classic geometric path tracker: steer toward a point
+// a speed-scaled lookahead distance ahead on the path.
+//
+// Known weakness (surfaced by assertion A2 on tight curvature): the chord
+// to the lookahead point cuts corners, so cross-track error grows with
+// curvature and lookahead distance.
+type PurePursuit struct {
+	params vehicle.Params
+	// LookaheadGain scales lookahead with speed: Ld = gain·v + Min.
+	LookaheadGain float64
+	// MinLookahead floors the lookahead distance in metres.
+	MinLookahead float64
+}
+
+// NewPurePursuit builds a pure-pursuit controller with standard tuning.
+func NewPurePursuit(p vehicle.Params) *PurePursuit {
+	return &PurePursuit{params: p, LookaheadGain: 0.8, MinLookahead: 2.5}
+}
+
+// Name implements Lateral.
+func (c *PurePursuit) Name() string { return "pure-pursuit" }
+
+// Reset implements Lateral.
+func (c *PurePursuit) Reset() {}
+
+// Steer implements Lateral.
+func (c *PurePursuit) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 {
+	ld := math.Max(c.MinLookahead, c.LookaheadGain*est.Speed)
+	s, _ := path.Project(est.Pose.Pos)
+	target := path.PointAt(s + ld)
+	// Angle to target in the body frame.
+	local := est.Pose.TransformTo(target)
+	dist := local.Norm()
+	if dist < 1e-6 {
+		return 0
+	}
+	alpha := math.Atan2(local.Y, local.X)
+	// Pure-pursuit law: δ = atan(2 L sin α / Ld).
+	return math.Atan2(2*c.params.Wheelbase*math.Sin(alpha), dist)
+}
+
+// Stanley is the Stanley front-axle controller: heading error plus
+// arctangent cross-track correction.
+//
+// Known weakness (surfaced by assertion A11): the cross-track term's gain
+// effectively grows with 1/v — at higher speed the correction lags and the
+// controller oscillates, especially with noisy localization.
+type Stanley struct {
+	params vehicle.Params
+	// Gain is the cross-track gain k in atan(k·e / (v + Soft)).
+	Gain float64
+	// Soft regularises the low-speed division.
+	Soft float64
+}
+
+// NewStanley builds a Stanley controller with standard tuning.
+func NewStanley(p vehicle.Params) *Stanley {
+	return &Stanley{params: p, Gain: 1.8, Soft: 1.0}
+}
+
+// Name implements Lateral.
+func (c *Stanley) Name() string { return "stanley" }
+
+// Reset implements Lateral.
+func (c *Stanley) Reset() {}
+
+// Steer implements Lateral.
+func (c *Stanley) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 {
+	// Stanley operates on the front axle; project the front-axle position.
+	front := est.Pose.Pos.Add(est.Pose.Forward().Scale(c.params.Wheelbase))
+	s, cte := path.Project(front)
+	headingErr := geom.AngleDiff(path.HeadingAt(s), est.Pose.Heading)
+	// cte sign: positive = vehicle left of path; steer right (negative).
+	cross := math.Atan2(c.Gain*-cte, est.Speed+c.Soft)
+	return headingErr + cross
+}
+
+// PIDLateral steers proportionally to cross-track error with integral and
+// derivative terms, plus a curvature feedforward.
+//
+// Known weakness: pure error feedback reacts after the error exists; the
+// integrator winds up under a sustained spoof-induced offset, producing a
+// slow, persistent bias (surfaced by A2/A8 in combination).
+type PIDLateral struct {
+	params     vehicle.Params
+	Kp, Ki, Kd float64
+	integral   float64
+	hasPrev    bool
+	// IntegralLimit clamps the integrator (anti-windup).
+	IntegralLimit float64
+	// DerivAlpha low-pass filters the derivative term (0..1, 1 = raw);
+	// the raw derivative amplifies localization noise unusably.
+	DerivAlpha float64
+	derivState float64
+}
+
+// NewPIDLateral builds a lateral PID controller with standard tuning.
+// pidDesignSpeed is the speed the PID gains are tuned at; the effective
+// loop gain of the lateral error dynamics grows with speed, so the output
+// is scheduled by designSpeed/v above it.
+const pidDesignSpeed = 3.0
+
+func NewPIDLateral(p vehicle.Params) *PIDLateral {
+	return &PIDLateral{params: p, Kp: 0.4, Ki: 0.02, Kd: 0.5, IntegralLimit: 2.0, DerivAlpha: 0.35}
+}
+
+// Name implements Lateral.
+func (c *PIDLateral) Name() string { return "pid-lateral" }
+
+// Reset implements Lateral.
+func (c *PIDLateral) Reset() {
+	c.integral = 0
+	c.hasPrev = false
+	c.derivState = 0
+}
+
+// Steer implements Lateral.
+func (c *PIDLateral) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 {
+	_, cte, headingErr, kappa := refErrors(est, path)
+	err := -cte // steer right when left of path
+	c.integral = geom.Clamp(c.integral+err*dt, -c.IntegralLimit, c.IntegralLimit)
+	// Derivative of the cross-track error, computed geometrically
+	// (ė = v·sin θe) rather than by differencing the noisy measurement —
+	// numeric differentiation of localization output is unusable at 20 Hz.
+	raw := -est.Speed * math.Sin(headingErr)
+	c.derivState += (raw - c.derivState) * c.DerivAlpha
+	c.hasPrev = true
+	// Curvature feedforward: the steady-state steering for the path arc.
+	// The controller remains pure error feedback on the cross-track
+	// channel — its characteristic (and its weakness: integrator windup
+	// under sustained offsets).
+	ff := math.Atan(kappa * c.params.Wheelbase)
+	gain := 1.0
+	if est.Speed > pidDesignSpeed {
+		gain = pidDesignSpeed / est.Speed
+	}
+	return ff + gain*(c.Kp*err+c.Ki*c.integral+c.Kd*c.derivState)
+}
+
+// LQRMPC is an unconstrained receding-horizon tracker: a discrete-time LQR
+// over the lateral error dynamics [e, ė, θe, θ̇e], with the gain recomputed
+// per speed bucket by backward Riccati recursion over a finite horizon —
+// i.e. the analytic solution of the linear MPC problem without actuator
+// constraints (constraints are enforced downstream by the plant's
+// saturation).
+type LQRMPC struct {
+	params vehicle.Params
+	// Horizon is the Riccati recursion depth (control steps).
+	Horizon int
+	// Dt is the prediction discretisation.
+	Dt float64
+	// Q penalises [e, ė, θe, θ̇e]; R penalises steering.
+	Qe, Qde, Qth, Qdth, R float64
+
+	gains map[int][4]float64 // speed bucket (0.5 m/s) → gain row
+}
+
+// NewLQRMPC builds the LQR/MPC controller with standard tuning.
+func NewLQRMPC(p vehicle.Params) *LQRMPC {
+	return &LQRMPC{
+		params: p, Horizon: 50, Dt: 0.05,
+		Qe: 1.0, Qde: 0.1, Qth: 0.8, Qdth: 0.1, R: 6.0,
+		gains: make(map[int][4]float64),
+	}
+}
+
+// Name implements Lateral.
+func (c *LQRMPC) Name() string { return "lqr-mpc" }
+
+// Reset implements Lateral.
+func (c *LQRMPC) Reset() {} // gains cache is speed-keyed and run-independent
+
+// gainFor returns the LQR gain row for a speed, cached per 0.5 m/s bucket.
+func (c *LQRMPC) gainFor(v float64) [4]float64 {
+	if v < 0.5 {
+		v = 0.5
+	}
+	bucket := int(v / 0.5)
+	if g, ok := c.gains[bucket]; ok {
+		return g
+	}
+	g := c.solveRiccati(float64(bucket)*0.5 + 0.25)
+	c.gains[bucket] = g
+	return g
+}
+
+// solveRiccati performs the backward recursion for the kinematic lateral
+// error model at speed v and returns K of u = -K·x.
+func (c *LQRMPC) solveRiccati(v float64) [4]float64 {
+	dt := c.Dt
+	L := c.params.Wheelbase
+	// Kinematic lateral error dynamics discretised:
+	//   e'   = e + v·θe·dt
+	//   θe'  = θe + (v/L)·δ·dt  (relative to path curvature, handled by FF)
+	// Augmented with first-difference states for damping.
+	A := fusion.NewMat(4, 4)
+	A.Set(0, 0, 1)
+	A.Set(0, 1, dt)
+	A.Set(1, 2, v)
+	A.Set(2, 2, 1)
+	A.Set(2, 3, dt)
+	B := fusion.NewMat(4, 1)
+	B.Set(3, 0, v/L)
+
+	Q := fusion.NewMat(4, 4)
+	Q.Set(0, 0, c.Qe)
+	Q.Set(1, 1, c.Qde)
+	Q.Set(2, 2, c.Qth)
+	Q.Set(3, 3, c.Qdth)
+	R := fusion.NewMat(1, 1)
+	R.Set(0, 0, c.R)
+
+	P := Q.Clone()
+	for i := 0; i < c.Horizon; i++ {
+		BtP := B.T().Mul(P)
+		S := BtP.Mul(B).Add(R)
+		K := S.Inv().Mul(BtP).Mul(A)
+		AmBK := A.Sub(B.Mul(K))
+		P = AmBK.T().Mul(P).Mul(AmBK).Add(Q).Add(K.T().Mul(R).Mul(K)).Symmetrize()
+	}
+	BtP := B.T().Mul(P)
+	S := BtP.Mul(B).Add(R)
+	K := S.Inv().Mul(BtP).Mul(A)
+	return [4]float64{K.At(0, 0), K.At(0, 1), K.At(0, 2), K.At(0, 3)}
+}
+
+// Steer implements Lateral.
+func (c *LQRMPC) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 {
+	_, cte, headingErr, kappa := refErrors(est, path)
+	v := math.Max(est.Speed, 0.5)
+	k := c.gainFor(v)
+	// Error-state vector: [e, ė, θe, θ̇e] with rates from current kinematics.
+	eDot := v * math.Sin(headingErr)
+	thDot := est.YawRate - v*kappa
+	x := [4]float64{cte, eDot, headingErr, thDot}
+	var u float64
+	for i := range k {
+		u -= k[i] * x[i]
+	}
+	ff := math.Atan(kappa * c.params.Wheelbase)
+	return ff + u
+}
+
+// SpeedPID is the longitudinal controller: PID on speed error with
+// anti-windup, returning an acceleration command.
+type SpeedPID struct {
+	Kp, Ki, Kd    float64
+	IntegralLimit float64
+	integral      float64
+	prevErr       float64
+	hasPrev       bool
+	maxAccel      float64
+	maxBrake      float64
+}
+
+// NewSpeedPID builds the speed controller for a vehicle's accel envelope.
+func NewSpeedPID(p vehicle.Params) *SpeedPID {
+	return &SpeedPID{
+		Kp: 1.2, Ki: 0.15, Kd: 0.0, IntegralLimit: 2.0,
+		maxAccel: p.MaxAccel, maxBrake: p.MaxBrake,
+	}
+}
+
+// Name identifies the controller in reports.
+func (c *SpeedPID) Name() string { return "speed-pid" }
+
+// Reset clears the integrator.
+func (c *SpeedPID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.hasPrev = false
+}
+
+// Accel returns the acceleration command tracking targetSpeed.
+func (c *SpeedPID) Accel(currentSpeed, targetSpeed, dt float64) float64 {
+	err := targetSpeed - currentSpeed
+	c.integral = geom.Clamp(c.integral+err*dt, -c.IntegralLimit, c.IntegralLimit)
+	var deriv float64
+	if c.hasPrev && dt > 0 {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.hasPrev = true
+	return geom.Clamp(c.Kp*err+c.Ki*c.integral+c.Kd*deriv, -c.maxBrake, c.maxAccel)
+}
+
+// All returns one instance of every lateral controller for the comparison
+// experiments, in stable order.
+func All(p vehicle.Params) []Lateral {
+	return []Lateral{NewPurePursuit(p), NewStanley(p), NewPIDLateral(p), NewLQRMPC(p)}
+}
+
+// ByName constructs a lateral controller by its Name string.
+func ByName(name string, p vehicle.Params) (Lateral, error) {
+	for _, c := range All(p) {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("control: unknown controller %q", name)
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Severity grades a violation's safety relevance.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Outcome is one assertion evaluation on one frame.
+type Outcome struct {
+	// OK is true when the invariant holds on this frame.
+	OK bool
+	// Margin is how far inside (positive) or outside (negative) the bound
+	// the observed value sits, in the assertion's native unit. Used by the
+	// threshold-ablation experiments.
+	Margin float64
+	// Evidence carries the named values the assertion examined.
+	Evidence map[string]float64
+	// Skip indicates the assertion was not applicable this frame (e.g. no
+	// fresh measurement); skipped frames do not advance the debouncer.
+	Skip bool
+}
+
+// Assertion is one runtime invariant over the frame stream. Implementations
+// may keep history between frames and must support Reset for reuse across
+// runs.
+type Assertion interface {
+	// ID is the catalog identifier, e.g. "A1".
+	ID() string
+	// Name is a short slug, e.g. "position-jump".
+	Name() string
+	// Description states the invariant for reports.
+	Description() string
+	// Severity grades the invariant.
+	Severity() Severity
+	// Eval checks the invariant on a frame.
+	Eval(f Frame) Outcome
+	// Reset clears history for a new run.
+	Reset()
+}
+
+// Violation is one raised assertion episode, with evidence from the frame
+// that crossed the debounce threshold.
+type Violation struct {
+	AssertionID string
+	Name        string
+	Severity    Severity
+	// T is the time the debounced violation was raised.
+	T float64
+	// FirstBreach is the time of the first failing frame in the episode.
+	FirstBreach float64
+	// Message is a human-readable account.
+	Message string
+	// Evidence snapshots the values behind the decision.
+	Evidence map[string]float64
+	// Duration is how long the episode lasted (raise until the window ran
+	// fully clean). Zero while the episode is still open at end of run.
+	Duration float64
+}
+
+// Debounce is the k-of-n policy: an episode is raised when at least K of
+// the last N applicable frames failed. N=K=1 raises immediately.
+type Debounce struct {
+	K, N int
+}
+
+// Validate checks the policy.
+func (d Debounce) Validate() error {
+	if d.N < 1 || d.K < 1 || d.K > d.N {
+		return fmt.Errorf("core: invalid debounce %d-of-%d", d.K, d.N)
+	}
+	return nil
+}
+
+// monitored pairs an assertion with its debounce state.
+type monitored struct {
+	a           Assertion
+	deb         Debounce
+	history     []bool // ring of last N applicability-filtered results
+	pos         int
+	filled      int
+	inEpisode   bool
+	firstBreach float64
+	everFailed  bool
+	openIdx     int // index into Monitor.violations of the open episode
+}
+
+func (m *monitored) reset() {
+	m.a.Reset()
+	m.history = make([]bool, m.deb.N)
+	m.pos, m.filled = 0, 0
+	m.inEpisode = false
+	m.everFailed = false
+	m.firstBreach = -1
+	m.openIdx = -1
+}
+
+// push records a pass/fail and returns the number of failures in the
+// current window and the window fill.
+func (m *monitored) push(fail bool) (fails, filled int) {
+	m.history[m.pos] = fail
+	m.pos = (m.pos + 1) % m.deb.N
+	if m.filled < m.deb.N {
+		m.filled++
+	}
+	for i := 0; i < m.filled; i++ {
+		if m.history[i] {
+			fails++
+		}
+	}
+	return fails, m.filled
+}
+
+// Monitor evaluates a set of assertions over the frame stream, applying
+// per-assertion debouncing, and accumulates violations. One violation is
+// recorded per failure episode (an episode ends when a full window passes
+// clean). Not safe for concurrent use.
+type Monitor struct {
+	entries    []*monitored
+	violations []Violation
+	frames     int
+	skippedBad int
+}
+
+// NewMonitor builds an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// Add registers an assertion under a debounce policy. It returns the
+// monitor for chaining and panics on an invalid policy or duplicate ID —
+// monitor assembly is static configuration.
+func (m *Monitor) Add(a Assertion, deb Debounce) *Monitor {
+	if err := deb.Validate(); err != nil {
+		panic(err)
+	}
+	for _, e := range m.entries {
+		if e.a.ID() == a.ID() {
+			panic(fmt.Sprintf("core: duplicate assertion %s", a.ID()))
+		}
+	}
+	e := &monitored{a: a, deb: deb}
+	e.reset()
+	m.entries = append(m.entries, e)
+	return m
+}
+
+// Step evaluates every assertion on the frame.
+func (m *Monitor) Step(f Frame) {
+	m.frames++
+	if !f.Finite() {
+		m.skippedBad++
+		return
+	}
+	for _, e := range m.entries {
+		out := e.a.Eval(f)
+		if out.Skip {
+			continue
+		}
+		if !out.OK && !e.inEpisode && e.firstBreachUnset() {
+			e.firstBreach = f.T
+		}
+		fails, filled := e.push(!out.OK)
+		switch {
+		case !e.inEpisode && filled >= e.deb.K && fails >= e.deb.K:
+			e.inEpisode = true
+			e.everFailed = true
+			if e.firstBreach > f.T || e.firstBreachUnset() {
+				e.firstBreach = f.T
+			}
+			e.openIdx = len(m.violations)
+			m.violations = append(m.violations, Violation{
+				AssertionID: e.a.ID(),
+				Name:        e.a.Name(),
+				Severity:    e.a.Severity(),
+				T:           f.T,
+				FirstBreach: e.firstBreach,
+				Message:     fmt.Sprintf("%s: %s (%d of last %d frames failing)", e.a.ID(), e.a.Description(), fails, filled),
+				Evidence:    out.Evidence,
+			})
+		case e.inEpisode && fails == 0 && filled == e.deb.N:
+			// Window fully clean: episode over; re-arm.
+			e.inEpisode = false
+			e.firstBreach = -1
+			if e.openIdx >= 0 {
+				m.violations[e.openIdx].Duration = f.T - m.violations[e.openIdx].T
+				e.openIdx = -1
+			}
+		case !e.inEpisode && fails == 0:
+			e.firstBreach = -1
+		}
+	}
+}
+
+func (e *monitored) firstBreachUnset() bool { return e.firstBreach < 0 }
+
+// Violations returns the violations recorded so far, in raise order.
+func (m *Monitor) Violations() []Violation {
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// FiredIDs returns the sorted set of assertion IDs with ≥1 violation.
+func (m *Monitor) FiredIDs() []string {
+	set := map[string]bool{}
+	for _, v := range m.violations {
+		set[v.AssertionID] = true
+	}
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FirstViolation returns the earliest-raised violation, if any.
+func (m *Monitor) FirstViolation() (Violation, bool) {
+	if len(m.violations) == 0 {
+		return Violation{}, false
+	}
+	best := m.violations[0]
+	for _, v := range m.violations[1:] {
+		if v.T < best.T {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// FirstViolationAfter returns the earliest violation raised at or after t.
+func (m *Monitor) FirstViolationAfter(t float64) (Violation, bool) {
+	found := false
+	var best Violation
+	for _, v := range m.violations {
+		if v.T >= t && (!found || v.T < best.T) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Frames returns how many frames the monitor has processed, and how many
+// were skipped as non-finite.
+func (m *Monitor) Frames() (processed, skipped int) { return m.frames, m.skippedBad }
+
+// AssertionIDs returns the registered assertion IDs in registration order.
+func (m *Monitor) AssertionIDs() []string {
+	ids := make([]string, len(m.entries))
+	for i, e := range m.entries {
+		ids[i] = e.a.ID()
+	}
+	return ids
+}
+
+// Reset clears all state for a fresh run (registered assertions stay).
+func (m *Monitor) Reset() {
+	for _, e := range m.entries {
+		e.reset()
+	}
+	m.violations = nil
+	m.frames = 0
+	m.skippedBad = 0
+}
+
+// --- DSL building blocks -------------------------------------------------
+
+// Extractor pulls one value from a frame; ok=false means not applicable on
+// this frame (the debouncer then skips it).
+type Extractor func(f Frame) (v float64, ok bool)
+
+// funcAssertion adapts a closure to the Assertion interface.
+type funcAssertion struct {
+	id, name, desc string
+	sev            Severity
+	eval           func(f Frame) Outcome
+	reset          func()
+}
+
+func (a *funcAssertion) ID() string          { return a.id }
+func (a *funcAssertion) Name() string        { return a.name }
+func (a *funcAssertion) Description() string { return a.desc }
+func (a *funcAssertion) Severity() Severity  { return a.sev }
+func (a *funcAssertion) Eval(f Frame) Outcome {
+	return a.eval(f)
+}
+func (a *funcAssertion) Reset() {
+	if a.reset != nil {
+		a.reset()
+	}
+}
+
+// NewAssertion wraps an evaluation closure as an Assertion. reset may be
+// nil for stateless assertions.
+func NewAssertion(id, name, desc string, sev Severity, eval func(f Frame) Outcome, reset func()) Assertion {
+	if id == "" || name == "" || eval == nil {
+		panic("core: NewAssertion requires id, name and eval")
+	}
+	return &funcAssertion{id: id, name: name, desc: desc, sev: sev, eval: eval, reset: reset}
+}
+
+// Bound asserts lo ≤ ex(f) ≤ hi on every applicable frame. Use ±Inf for a
+// one-sided bound.
+func Bound(id, name, desc string, sev Severity, ex Extractor, lo, hi float64) Assertion {
+	if lo > hi {
+		panic(fmt.Sprintf("core: Bound %s has inverted bounds", id))
+	}
+	return NewAssertion(id, name, desc, sev, func(f Frame) Outcome {
+		v, ok := ex(f)
+		if !ok {
+			return Outcome{Skip: true}
+		}
+		margin := math.Min(v-lo, hi-v)
+		return Outcome{
+			OK:       v >= lo && v <= hi,
+			Margin:   margin,
+			Evidence: map[string]float64{"value": v, "lo": lo, "hi": hi},
+		}
+	}, nil)
+}
+
+// Rate asserts |d ex/dt| ≤ maxRate between consecutive applicable frames.
+func Rate(id, name, desc string, sev Severity, ex Extractor, maxRate float64) Assertion {
+	if maxRate <= 0 {
+		panic(fmt.Sprintf("core: Rate %s needs a positive bound", id))
+	}
+	var prevV, prevT float64
+	var has bool
+	return NewAssertion(id, name, desc, sev, func(f Frame) Outcome {
+		v, ok := ex(f)
+		if !ok {
+			return Outcome{Skip: true}
+		}
+		if !has {
+			prevV, prevT, has = v, f.T, true
+			return Outcome{Skip: true}
+		}
+		dt := f.T - prevT
+		if dt <= 0 {
+			return Outcome{Skip: true}
+		}
+		rate := math.Abs(v-prevV) / dt
+		prevV, prevT = v, f.T
+		return Outcome{
+			OK:       rate <= maxRate,
+			Margin:   maxRate - rate,
+			Evidence: map[string]float64{"rate": rate, "max": maxRate},
+		}
+	}, func() { has = false })
+}
+
+// Consistency asserts |a(f) − b(f)| ≤ tol whenever both extractors apply.
+// diff may be overridden (e.g. angular difference); nil means plain
+// subtraction.
+func Consistency(id, name, desc string, sev Severity, a, b Extractor, diff func(x, y float64) float64, tol float64) Assertion {
+	if tol <= 0 {
+		panic(fmt.Sprintf("core: Consistency %s needs a positive tolerance", id))
+	}
+	if diff == nil {
+		diff = func(x, y float64) float64 { return x - y }
+	}
+	return NewAssertion(id, name, desc, sev, func(f Frame) Outcome {
+		x, ok1 := a(f)
+		y, ok2 := b(f)
+		if !ok1 || !ok2 {
+			return Outcome{Skip: true}
+		}
+		d := math.Abs(diff(x, y))
+		return Outcome{
+			OK:       d <= tol,
+			Margin:   tol - d,
+			Evidence: map[string]float64{"a": x, "b": y, "diff": d, "tol": tol},
+		}
+	}, nil)
+}
+
+// WindowCount asserts that a per-frame event (pred) occurs at most maxCount
+// times within any sliding window of the given duration.
+func WindowCount(id, name, desc string, sev Severity, pred func(f Frame) (event, ok bool), window float64, maxCount int) Assertion {
+	if window <= 0 || maxCount < 0 {
+		panic(fmt.Sprintf("core: WindowCount %s needs positive window and non-negative count", id))
+	}
+	var times []float64
+	return NewAssertion(id, name, desc, sev, func(f Frame) Outcome {
+		event, ok := pred(f)
+		if !ok {
+			return Outcome{Skip: true}
+		}
+		if event {
+			times = append(times, f.T)
+		}
+		// Evict old events.
+		cut := f.T - window
+		i := 0
+		for i < len(times) && times[i] < cut {
+			i++
+		}
+		times = times[i:]
+		n := len(times)
+		return Outcome{
+			OK:       n <= maxCount,
+			Margin:   float64(maxCount - n),
+			Evidence: map[string]float64{"count": float64(n), "max": float64(maxCount), "window": window},
+		}
+	}, func() { times = nil })
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CatalogConfig tunes the built-in assertion catalog.
+type CatalogConfig struct {
+	// Limits scales the thresholds to the platform envelope.
+	Limits Limits
+	// ThresholdScale multiplies every numeric threshold (1 = catalog
+	// defaults). The sensitivity-ablation experiment sweeps it.
+	ThresholdScale float64
+	// Debounce overrides the per-assertion default policies when N > 0.
+	Debounce Debounce
+	// IncludeGroundTruth adds A12, which reads simulation ground truth and
+	// is unavailable on a real platform without instrumentation.
+	IncludeGroundTruth bool
+}
+
+func (c *CatalogConfig) defaults() {
+	if c.ThresholdScale <= 0 {
+		c.ThresholdScale = 1
+	}
+	if c.Limits.MaxSpeed <= 0 {
+		c.Limits = DefaultLimits(8, 2.5, 2, 0.55, 0.8, 2.8)
+	}
+}
+
+// freshGNSS reports whether a new fix was delivered within this frame's
+// control period.
+func freshGNSS(f Frame) bool { return f.GNSSValid && f.GNSSAge <= f.Dt+1e-9 }
+
+// NewCatalog instantiates the built-in assertions A1–A12 with the given
+// configuration, each paired with its default debounce policy.
+func NewCatalog(cfg CatalogConfig) []CatalogEntry {
+	cfg.defaults()
+	lim := cfg.Limits
+	k := cfg.ThresholdScale
+	deb := func(def Debounce) Debounce {
+		if cfg.Debounce.N > 0 {
+			return cfg.Debounce
+		}
+		return def
+	}
+
+	entries := []CatalogEntry{
+		{A1PositionJump(lim, k), deb(Debounce{K: 1, N: 1})},
+		{A2CrossTrack(lim, k), deb(Debounce{K: 4, N: 5})},
+		{A3HeadingConsistency(lim, k), deb(Debounce{K: 3, N: 4})},
+		{A4SpeedConsistency(lim, k), deb(Debounce{K: 3, N: 4})},
+		{A5StaleSensor(lim, k), deb(Debounce{K: 2, N: 2})},
+		{A6SteeringCurvature(lim, k), deb(Debounce{K: 5, N: 6})},
+		{A7LateralAccel(lim, k), deb(Debounce{K: 3, N: 4})},
+		{A8Jerk(lim, k), deb(Debounce{K: 3, N: 4})},
+		{A9ProgressMonotone(lim, k), deb(Debounce{K: 1, N: 1})},
+		{A10InnovationGate(lim, k), deb(Debounce{K: 2, N: 3})},
+		{A11Oscillation(lim, k), deb(Debounce{K: 1, N: 1})},
+		{A13HeadingReference(lim, k), deb(Debounce{K: 4, N: 5})},
+		{A14ActuatorResponse(lim, k), deb(Debounce{K: 4, N: 5})},
+	}
+	if cfg.IncludeGroundTruth {
+		entries = append(entries, CatalogEntry{A12SafetyEnvelope(lim, k), deb(Debounce{K: 3, N: 4})})
+	}
+	return entries
+}
+
+// CatalogEntry pairs an assertion with its default debounce policy.
+type CatalogEntry struct {
+	Assertion Assertion
+	Debounce  Debounce
+}
+
+// NewCatalogMonitor builds a Monitor loaded with the configured catalog.
+func NewCatalogMonitor(cfg CatalogConfig) *Monitor {
+	m := NewMonitor()
+	for _, e := range NewCatalog(cfg) {
+		m.Add(e.Assertion, e.Debounce)
+	}
+	return m
+}
+
+// A1PositionJump asserts that consecutive GNSS fixes are kinematically
+// reachable: the implied speed between fixes must not exceed the vehicle
+// envelope (with margin). Catches step spoofs and replay onsets.
+func A1PositionJump(lim Limits, k float64) Assertion {
+	maxImplied := (lim.MaxSpeed*1.5 + 2) * k
+	var px, py, pt float64
+	var has bool
+	return NewAssertion("A1", "position-jump",
+		fmt.Sprintf("implied GNSS speed between fixes <= %.1f m/s", maxImplied), Critical,
+		func(f Frame) Outcome {
+			if !freshGNSS(f) {
+				return Outcome{Skip: true}
+			}
+			// Key on the fix's own timestamp, not the frame's: a fix can be
+			// "fresh" on two consecutive control frames, and comparing it
+			// against itself over half a period would double the implied
+			// speed.
+			tFix := f.T - f.GNSSAge
+			if !has {
+				px, py, pt, has = f.GNSSX, f.GNSSY, tFix, true
+				return Outcome{Skip: true}
+			}
+			dt := tFix - pt
+			if dt <= 1e-6 {
+				return Outcome{Skip: true} // same fix as last frame
+			}
+			implied := math.Hypot(f.GNSSX-px, f.GNSSY-py) / dt
+			px, py, pt = f.GNSSX, f.GNSSY, tFix
+			return Outcome{
+				OK:       implied <= maxImplied,
+				Margin:   maxImplied - implied,
+				Evidence: map[string]float64{"implied_speed": implied, "max": maxImplied},
+			}
+		}, func() { has = false })
+}
+
+// A2CrossTrack asserts the estimated cross-track error stays inside the
+// lane-keeping bound while the vehicle is in motion. Catches drift spoofs
+// (the vehicle physically leaves the lane while believing otherwise, or
+// vice versa) and controller tracking weaknesses.
+func A2CrossTrack(lim Limits, k float64) Assertion {
+	bound := lim.CTEBound * k
+	return Bound("A2", "cross-track-bound",
+		fmt.Sprintf("|cross-track error| <= %.2f m while moving", bound), Critical,
+		func(f Frame) (float64, bool) {
+			if f.EstSpeed < 0.5 {
+				return 0, false
+			}
+			return f.CTE, true
+		}, -bound, bound)
+}
+
+// A3HeadingConsistency asserts the GNSS course over ground agrees with the
+// IMU heading while moving. Catches position spoofs (the spoofed track's
+// course diverges from inertial heading) and IMU bias faults.
+func A3HeadingConsistency(lim Limits, k float64) Assertion {
+	tol := lim.HeadingTol * k
+	return Consistency("A3", "heading-consistency",
+		fmt.Sprintf("|GNSS course - IMU heading| <= %.2f rad while moving", tol), Warning,
+		func(f Frame) (float64, bool) {
+			// Course over ground is a chord direction: during hard yaw it
+			// legitimately lags the instantaneous heading by ~ω·baseline/2,
+			// so the check only applies in near-straight motion at speed.
+			if !freshGNSS(f) || f.EstSpeed < 2 || math.Abs(f.IMUYawRate) > 0.3 {
+				return 0, false
+			}
+			return f.GNSSCourse, true
+		},
+		func(f Frame) (float64, bool) {
+			if f.IMUAge > lim.MaxSensorAge {
+				return 0, false
+			}
+			return f.IMUHeading, true
+		},
+		angleDiff, tol)
+}
+
+// A4SpeedConsistency asserts GNSS-derived speed agrees with wheel odometry.
+// Catches freezes (derived speed collapses to zero), replays and spoofs
+// (derived speed inflates) and odometry scaling faults.
+func A4SpeedConsistency(lim Limits, k float64) Assertion {
+	tol := lim.SpeedTol * k
+	return Consistency("A4", "speed-consistency",
+		fmt.Sprintf("|GNSS speed - odometry speed| <= %.2f m/s", tol), Warning,
+		func(f Frame) (float64, bool) {
+			// The receiver-derived speed is a chord average over ~1 s; under
+			// hard acceleration it legitimately lags the instantaneous wheel
+			// speed by ~a/2, so the check applies in quasi-steady motion.
+			if !freshGNSS(f) || math.Abs(f.IMUAccel) > 1.0 {
+				return 0, false
+			}
+			return f.GNSSSpeed, true
+		},
+		func(f Frame) (float64, bool) {
+			if f.OdomAge > lim.MaxSensorAge {
+				return 0, false
+			}
+			return f.OdomSpeed, true
+		},
+		nil, tol)
+}
+
+// A5StaleSensor asserts the GNSS channel keeps delivering: the age of the
+// newest delivered fix must stay below the staleness bound. Catches
+// dropouts/DoS and added delay.
+func A5StaleSensor(lim Limits, k float64) Assertion {
+	maxAge := lim.MaxSensorAge * k
+	return Bound("A5", "stale-sensor",
+		fmt.Sprintf("GNSS fix age <= %.2f s", maxAge), Warning,
+		func(f Frame) (float64, bool) { return f.GNSSAge, true },
+		math.Inf(-1), maxAge)
+}
+
+// A6SteeringCurvature asserts the commanded steering stays consistent with
+// the path geometry plus a correction proportional to the tracking errors.
+// A large unexplained steering command indicates the controller is reacting
+// to corrupted localization or has an internal defect.
+func A6SteeringCurvature(lim Limits, k float64) Assertion {
+	slack := 0.25 * k // rad of unexplained steering allowed
+	return NewAssertion("A6", "steering-curvature",
+		fmt.Sprintf("steer within geometric band of upcoming curvature + %.2f rad + error terms", slack), Warning,
+		func(f Frame) Outcome {
+			// Below ~1.5 m/s every geometric controller is legitimately
+			// twitchy (spawn transients, Stanley's 1/v gain), so the check
+			// applies only in motion.
+			if f.EstSpeed < 1.5 {
+				return Outcome{Skip: true}
+			}
+			// Geometric steering band implied by the curvature the vehicle
+			// is in or about to enter (controllers legitimately anticipate
+			// the upcoming arc).
+			lo := math.Atan(f.CurvAheadMin * lim.Wheelbase)
+			hi := math.Atan(f.CurvAheadMax * lim.Wheelbase)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// Corrections the tracking errors justify.
+			allowance := slack + 0.6*math.Abs(f.CTE) + 0.8*math.Abs(f.HeadingErr)
+			var dev float64
+			switch {
+			case f.CmdSteer < lo:
+				dev = lo - f.CmdSteer
+			case f.CmdSteer > hi:
+				dev = f.CmdSteer - hi
+			}
+			return Outcome{
+				OK:       dev <= allowance,
+				Margin:   allowance - dev,
+				Evidence: map[string]float64{"deviation": dev, "allowance": allowance, "band_lo": lo, "band_hi": hi},
+			}
+		}, nil)
+}
+
+// A7LateralAccel asserts the realised lateral acceleration v·ω stays inside
+// the comfort/safety envelope. Catches spoof-induced swerves and unsafe
+// speed plans.
+func A7LateralAccel(lim Limits, k float64) Assertion {
+	// 1.7× the comfort envelope: the speed plan targets the envelope
+	// itself, so realistic overshoot peaks ~1.5×; a spoof-induced swerve
+	// at speed lands well above 2×.
+	bound := lim.MaxLatAccel * 1.7 * k
+	return Bound("A7", "lateral-accel",
+		fmt.Sprintf("|v·yawrate| <= %.2f m/s²", bound), Critical,
+		func(f Frame) (float64, bool) {
+			return f.EstSpeed * f.EstYawRate, true
+		}, -bound, bound)
+}
+
+// A8Jerk asserts the commanded longitudinal jerk stays inside the comfort
+// envelope. Catches oscillating/unstable longitudinal control.
+func A8Jerk(lim Limits, k float64) Assertion {
+	// 5× the comfort jerk: deep braking into a hairpin legitimately
+	// produces short spikes of a few× the comfort value; a localization
+	// jolt slams the whole accel envelope in one step and lands far above
+	// this bound.
+	bound := lim.MaxJerk * 5 * k
+	return Rate("A8", "jerk-bound",
+		fmt.Sprintf("|d(accel)/dt| <= %.1f m/s³", bound), Warning,
+		func(f Frame) (float64, bool) { return f.CmdAccel, true },
+		bound)
+}
+
+// A9ProgressMonotone asserts route progress never jumps backward by more
+// than the tolerance in a single step. Catches replays (projection snaps
+// back) and teleporting spoofs.
+func A9ProgressMonotone(lim Limits, k float64) Assertion {
+	tol := 2.0 * k // metres of admissible regression (projection jitter)
+	var prev float64
+	var has bool
+	return NewAssertion("A9", "progress-monotone",
+		fmt.Sprintf("route progress regression <= %.1f m per step", tol), Critical,
+		func(f Frame) Outcome {
+			if !has {
+				prev, has = f.Progress, true
+				return Outcome{Skip: true}
+			}
+			drop := prev - f.Progress
+			prev = f.Progress
+			return Outcome{
+				OK:       drop <= tol,
+				Margin:   tol - drop,
+				Evidence: map[string]float64{"regression": drop, "tol": tol},
+			}
+		}, func() { has = false })
+}
+
+// A10InnovationGate asserts the fusion filter's GNSS innovation stays under
+// the χ² gate. The catch-all consistency check: any measurement stream that
+// disagrees with the filter's short-horizon prediction trips it.
+func A10InnovationGate(lim Limits, k float64) Assertion {
+	gate := lim.NISGate * k
+	return Bound("A10", "innovation-gate",
+		fmt.Sprintf("GNSS NIS <= %.2f", gate), Warning,
+		func(f Frame) (float64, bool) {
+			if !f.NISFresh {
+				return 0, false
+			}
+			return f.NIS, true
+		},
+		math.Inf(-1), gate)
+}
+
+// A11Oscillation asserts the steering command does not change sign more
+// than a bounded number of times within a sliding window — the instability
+// signature of badly tuned lateral controllers at speed.
+func A11Oscillation(lim Limits, k float64) Assertion {
+	const window = 2.0
+	maxChanges := int(math.Max(2, 10*k))
+	var prevSteer float64
+	var has bool
+	return WindowCount("A11", "oscillation-bound",
+		fmt.Sprintf("steering sign changes <= %d per %.0f s", maxChanges, window), Warning,
+		func(f Frame) (bool, bool) {
+			if f.EstSpeed < 1 {
+				return false, false
+			}
+			event := false
+			if has && prevSteer*f.CmdSteer < 0 && math.Abs(f.CmdSteer-prevSteer) > 0.08 {
+				event = true
+			}
+			prevSteer, has = f.CmdSteer, true
+			return event, true
+		}, window, maxChanges)
+}
+
+// A12SafetyEnvelope is the offline ground-truth assertion: the vehicle's
+// true cross-track deviation must stay inside the physical safety corridor
+// regardless of what the stack believes. Only evaluable in simulation or
+// on instrumented test ranges.
+func A12SafetyEnvelope(lim Limits, k float64) Assertion {
+	bound := lim.CTEBound * 2.5 * k
+	return Bound("A12", "safety-envelope",
+		fmt.Sprintf("|true cross-track deviation| <= %.2f m", bound), Critical,
+		func(f Frame) (float64, bool) {
+			if f.TrueSpeed < 0.5 {
+				return 0, false
+			}
+			return f.TrueCTE, true
+		}, -bound, bound)
+}
+
+// A13HeadingReference asserts that the fused heading stays consistent with
+// the platform's independent heading reference (here the IMU's integrated
+// heading channel; on a production vehicle, a dual-antenna GNSS compass or
+// magnetometer). The fused heading is only legitimately rotated by the
+// gyro, so a localization channel dragging the estimate sideways — the
+// signature of a slow drift spoof, which the χ² gate can never see —
+// accumulates a persistent divergence between the two. An exponential
+// moving average (τ ≈ 3 s) separates the persistent divergence from
+// per-sample noise.
+func A13HeadingReference(lim Limits, k float64) Assertion {
+	const tau = 3.0
+	tol := 0.05 * k // rad of persistent divergence allowed
+	ema := 0.0
+	var lastT float64
+	var has bool
+	return NewAssertion("A13", "heading-reference",
+		fmt.Sprintf("EMA|fused heading - IMU heading| <= %.3f rad", tol), Critical,
+		func(f Frame) Outcome {
+			if f.IMUAge > lim.MaxSensorAge {
+				return Outcome{Skip: true}
+			}
+			d := angleDiff(f.EstHeading, f.IMUHeading)
+			if !has {
+				lastT, has = f.T, true
+				ema = d
+				return Outcome{Skip: true}
+			}
+			alpha := (f.T - lastT) / tau
+			if alpha > 1 {
+				alpha = 1
+			}
+			lastT = f.T
+			ema += (d - ema) * alpha
+			dev := math.Abs(ema)
+			return Outcome{
+				OK:       dev <= tol,
+				Margin:   tol - dev,
+				Evidence: map[string]float64{"ema_divergence": ema, "instant": d, "tol": tol},
+			}
+		}, func() { ema = 0; has = false })
+}
+
+// A14ActuatorResponse asserts that the vehicle's measured yaw response
+// matches what the commanded steering should produce (kinematically,
+// ω ≈ v·tan(δ)/L). A persistent residual means the actuation path is not
+// executing the controller's command — a stuck or offset steering fault.
+// An EMA (τ ≈ 2 s) absorbs the actuator's legitimate lag transients.
+func A14ActuatorResponse(lim Limits, k float64) Assertion {
+	const (
+		tau    = 2.0  // residual EMA time constant, s
+		actLag = 0.25 // modelled first-order actuator response, s
+	)
+	tol := 0.12 * k // rad/s of persistent yaw-rate residual allowed
+	ema := 0.0
+	filtSteer := 0.0
+	var lastT float64
+	var has bool
+	return NewAssertion("A14", "actuator-response",
+		fmt.Sprintf("EMA|measured yaw - commanded yaw| <= %.2f rad/s", tol), Critical,
+		func(f Frame) Outcome {
+			if !has {
+				lastT, has = f.T, true
+				filtSteer = f.CmdSteer
+				return Outcome{Skip: true}
+			}
+			dt := f.T - lastT
+			lastT = f.T
+			// The actuator follows the command with a first-order lag; the
+			// expectation must model that, or every fast slew (corner
+			// entry) produces a spurious transient residual.
+			filtSteer += (f.CmdSteer - filtSteer) * (1 - math.Exp(-dt/actLag))
+			if f.EstSpeed < 1.5 || f.IMUAge > lim.MaxSensorAge {
+				return Outcome{Skip: true}
+			}
+			expected := f.EstSpeed * math.Tan(filtSteer) / lim.Wheelbase
+			residual := f.IMUYawRate - expected
+			alpha := dt / tau
+			if alpha > 1 {
+				alpha = 1
+			}
+			ema += (residual - ema) * alpha
+			dev := math.Abs(ema)
+			return Outcome{
+				OK:       dev <= tol,
+				Margin:   tol - dev,
+				Evidence: map[string]float64{"ema_residual": ema, "expected_yaw": expected, "measured_yaw": f.IMUYawRate, "tol": tol},
+			}
+		}, func() { ema = 0; filtSteer = 0; has = false })
+}
+
+// angleDiff is the angular difference used by heading-consistency checks.
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	switch {
+	case d > math.Pi:
+		d -= 2 * math.Pi
+	case d < -math.Pi:
+		d += 2 * math.Pi
+	}
+	return d
+}

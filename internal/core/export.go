@@ -1,0 +1,31 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteViolationsJSON serialises a violation record for external tooling
+// (dashboards, ticket attachments). The format is a stable JSON array of
+// Violation objects.
+func WriteViolationsJSON(w io.Writer, vs []Violation) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if vs == nil {
+		vs = []Violation{}
+	}
+	if err := enc.Encode(vs); err != nil {
+		return fmt.Errorf("core: encode violations: %w", err)
+	}
+	return nil
+}
+
+// ReadViolationsJSON parses a record written by WriteViolationsJSON.
+func ReadViolationsJSON(r io.Reader) ([]Violation, error) {
+	var vs []Violation
+	if err := json.NewDecoder(r).Decode(&vs); err != nil {
+		return nil, fmt.Errorf("core: decode violations: %w", err)
+	}
+	return vs, nil
+}

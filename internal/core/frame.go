@@ -1,0 +1,129 @@
+// Package core is ADAssure's primary contribution: a runtime-assertion
+// framework for autonomous-driving control stacks. It defines the signal
+// frame sampled every control step, a small assertion DSL (bound, rate,
+// consistency and window predicates with k-of-n debouncing), the built-in
+// assertion catalog A1–A12, and the monitor engine that evaluates the
+// catalog online and emits violations with attached evidence.
+//
+// The methodology: run a scenario with the Monitor attached, collect the
+// violation record, feed it to the diagnosis engine (package diagnosis) to
+// rank root causes, fix the controller or fusion configuration, and re-run
+// to confirm the violations clear.
+package core
+
+import "math"
+
+// Frame is one control-period sample of every signal the assertion catalog
+// ranges over. The simulation engine (or, on a real platform, the logging
+// bridge) fills one Frame per control step.
+type Frame struct {
+	// T is the frame timestamp in seconds; Dt the control period.
+	T, Dt float64
+
+	// Localization estimate (what the controller believes).
+	EstX, EstY   float64
+	EstHeading   float64
+	EstSpeed     float64
+	EstYawRate   float64
+	EstPosStdDev float64
+
+	// Latest GNSS fix as delivered (post-attack), and its age.
+	GNSSX, GNSSY float64
+	GNSSSpeed    float64
+	GNSSCourse   float64
+	GNSSAge      float64
+	GNSSValid    bool
+
+	// Latest IMU reading and its age.
+	IMUHeading float64
+	IMUYawRate float64
+	IMUAccel   float64
+	IMUAge     float64
+
+	// Latest wheel-odometry reading and its age.
+	OdomSpeed float64
+	OdomAge   float64
+
+	// Controller output this step.
+	CmdSteer float64
+	CmdAccel float64
+
+	// Reference-tracking quantities computed from the estimate.
+	RefS        float64 // arc position of the projection
+	CTE         float64 // signed cross-track error (estimate vs path)
+	HeadingErr  float64 // estimate heading − path heading
+	Curvature   float64 // path curvature at the projection
+	TargetSpeed float64
+	Progress    float64 // cumulative route progress, m
+	// CurvAheadMin/Max bound the path curvature over the window the
+	// controller is reacting to (slightly behind to one lookahead ahead of
+	// the projection); assertion A6 checks steering against this band.
+	CurvAheadMin, CurvAheadMax float64
+
+	// Fusion innovation statistics (assertion A10).
+	NIS          float64
+	NISFresh     bool // true if a GNSS update was attempted this step
+	RejectStreak int
+
+	// Ground truth, available in simulation (and in instrumented test-track
+	// runs). Online assertions must not read these; the offline assertion
+	// A12 and the metrics layer do.
+	TrueX, TrueY float64
+	TrueHeading  float64
+	TrueSpeed    float64
+	TrueCTE      float64
+}
+
+// Limits carries the vehicle/track envelope the catalog's thresholds are
+// scaled by, so assertions transfer between platforms without retuning.
+type Limits struct {
+	MaxSpeed     float64 // m/s
+	MaxLatAccel  float64 // m/s²
+	MaxJerk      float64 // m/s³
+	MaxSteer     float64 // rad
+	MaxSteerRate float64 // rad/s
+	Wheelbase    float64 // m
+	// CTEBound is the lane-keeping tolerance in metres (default 1.5).
+	CTEBound float64
+	// HeadingTol is the admissible GNSS-vs-IMU heading divergence (default
+	// 0.45 rad, covering course-chord lag plus IMU heading bias walk).
+	HeadingTol float64
+	// SpeedTol is the admissible GNSS-vs-odometry speed divergence in m/s
+	// (default 1.0).
+	SpeedTol float64
+	// MaxSensorAge is the staleness bound for sensor delivery (default
+	// 0.5 s, covering several GNSS periods).
+	MaxSensorAge float64
+	// NISGate is the χ² threshold assertion A10 checks against (default
+	// 9.21, the 99th percentile at 2 DOF).
+	NISGate float64
+}
+
+// DefaultLimits derives assertion limits from the vehicle envelope.
+func DefaultLimits(maxSpeed, maxLatAccel, maxJerk, maxSteer, maxSteerRate, wheelbase float64) Limits {
+	return Limits{
+		MaxSpeed:     maxSpeed,
+		MaxLatAccel:  maxLatAccel,
+		MaxJerk:      maxJerk,
+		MaxSteer:     maxSteer,
+		MaxSteerRate: maxSteerRate,
+		Wheelbase:    wheelbase,
+		CTEBound:     1.5,
+		HeadingTol:   0.45,
+		SpeedTol:     1.5,
+		MaxSensorAge: 0.5,
+		NISGate:      9.21,
+	}
+}
+
+// Finite reports whether the frame's core estimate signals are finite;
+// non-finite frames indicate an instrumentation bug and are skipped by the
+// monitor with a diagnostic.
+func (f Frame) Finite() bool {
+	for _, v := range []float64{f.T, f.EstX, f.EstY, f.EstHeading, f.EstSpeed, f.CmdSteer, f.CmdAccel} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

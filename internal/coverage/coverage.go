@@ -1,0 +1,215 @@
+// Package coverage analyses the quality of an assertion catalog over a
+// corpus of labelled runs: which assertions carry detection weight, which
+// never fire (dead weight), which are redundant with each other, and which
+// are unique first detectors. This is the "assertion assessment" analysis
+// an assertion-based methodology uses to justify (or prune) its catalog.
+package coverage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adassure/internal/core"
+)
+
+// Run is one labelled violation record in the corpus.
+type Run struct {
+	// Label identifies the scenario (e.g. the attack class or "clean").
+	Label string
+	// Onset is the incident onset time; negative for clean runs.
+	Onset float64
+	// Violations is the monitor record.
+	Violations []core.Violation
+}
+
+// AssertionStats summarises one assertion's utility over the corpus.
+type AssertionStats struct {
+	ID string
+	// Episodes is the total episode count across runs.
+	Episodes int
+	// RunsFired is the number of runs with ≥1 post-onset episode.
+	RunsFired int
+	// LabelsCovered is the number of distinct labels detected.
+	LabelsCovered int
+	// FirstDetector counts runs where this assertion raised the earliest
+	// post-onset violation.
+	FirstDetector int
+	// SoleDetector counts runs where it was the only firing assertion.
+	SoleDetector int
+	// FalsePositives counts pre-onset (or clean-run) episodes.
+	FalsePositives int
+	// MeanLatency is the average detection latency over runs where it
+	// fired post-onset (its own first episode, not the catalog's).
+	MeanLatency float64
+}
+
+// Report is the full corpus analysis.
+type Report struct {
+	// PerAssertion is sorted by descending utility (first-detector count,
+	// then labels covered, then episodes).
+	PerAssertion []AssertionStats
+	// Dead lists registered assertions that never fired post-onset. Only
+	// populated when the registered set is supplied to Analyze.
+	Dead []string
+	// Redundant lists pairs whose post-onset firing patterns across runs
+	// are near-identical (Jaccard ≥ 0.9 over runs, both ≥ 3 runs).
+	Redundant []RedundantPair
+	// Runs is the corpus size.
+	Runs int
+}
+
+// RedundantPair is two assertions with near-identical firing patterns.
+type RedundantPair struct {
+	A, B    string
+	Jaccard float64
+}
+
+// Analyze computes the corpus report. registered optionally supplies the
+// full catalog IDs so dead assertions can be named; pass nil to skip.
+func Analyze(runs []Run, registered []string) (*Report, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("coverage: empty corpus")
+	}
+	type acc struct {
+		stats    AssertionStats
+		labels   map[string]bool
+		fired    map[int]bool // run index → fired post-onset
+		latSum   float64
+		latCount int
+	}
+	accs := map[string]*acc{}
+	get := func(id string) *acc {
+		a, ok := accs[id]
+		if !ok {
+			a = &acc{stats: AssertionStats{ID: id}, labels: map[string]bool{}, fired: map[int]bool{}}
+			accs[id] = a
+		}
+		return a
+	}
+
+	for i, r := range runs {
+		firstT := math.Inf(1)
+		firstID := ""
+		firedIDs := map[string]float64{} // id → its first post-onset raise
+		for _, v := range r.Violations {
+			a := get(v.AssertionID)
+			a.stats.Episodes++
+			if r.Onset >= 0 && v.T >= r.Onset {
+				if _, seen := firedIDs[v.AssertionID]; !seen {
+					firedIDs[v.AssertionID] = v.T
+				}
+				if v.T < firstT {
+					firstT, firstID = v.T, v.AssertionID
+				}
+			} else {
+				a.stats.FalsePositives++
+			}
+		}
+		for id, t0 := range firedIDs {
+			a := get(id)
+			a.stats.RunsFired++
+			a.labels[r.Label] = true
+			a.fired[i] = true
+			a.latSum += t0 - r.Onset
+			a.latCount++
+		}
+		if firstID != "" {
+			get(firstID).stats.FirstDetector++
+			if len(firedIDs) == 1 {
+				get(firstID).stats.SoleDetector++
+			}
+		}
+	}
+
+	rep := &Report{Runs: len(runs)}
+	for _, a := range accs {
+		a.stats.LabelsCovered = len(a.labels)
+		if a.latCount > 0 {
+			a.stats.MeanLatency = a.latSum / float64(a.latCount)
+		}
+		rep.PerAssertion = append(rep.PerAssertion, a.stats)
+	}
+	sort.Slice(rep.PerAssertion, func(i, j int) bool {
+		a, b := rep.PerAssertion[i], rep.PerAssertion[j]
+		if a.FirstDetector != b.FirstDetector {
+			return a.FirstDetector > b.FirstDetector
+		}
+		if a.LabelsCovered != b.LabelsCovered {
+			return a.LabelsCovered > b.LabelsCovered
+		}
+		if a.Episodes != b.Episodes {
+			return a.Episodes > b.Episodes
+		}
+		return a.ID < b.ID
+	})
+
+	// Dead assertions.
+	firedSet := map[string]bool{}
+	for _, s := range rep.PerAssertion {
+		if s.RunsFired > 0 {
+			firedSet[s.ID] = true
+		}
+	}
+	for _, id := range registered {
+		if !firedSet[id] {
+			rep.Dead = append(rep.Dead, id)
+		}
+	}
+	sort.Strings(rep.Dead)
+
+	// Redundancy: Jaccard over per-run fired sets.
+	ids := make([]string, 0, len(accs))
+	for id := range accs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := accs[ids[i]], accs[ids[j]]
+			if len(a.fired) < 3 || len(b.fired) < 3 {
+				continue
+			}
+			inter, union := 0, 0
+			seen := map[int]bool{}
+			for r := range a.fired {
+				seen[r] = true
+				if b.fired[r] {
+					inter++
+				}
+			}
+			for r := range b.fired {
+				seen[r] = true
+			}
+			union = len(seen)
+			if union == 0 {
+				continue
+			}
+			jac := float64(inter) / float64(union)
+			if jac >= 0.9 {
+				rep.Redundant = append(rep.Redundant, RedundantPair{A: ids[i], B: ids[j], Jaccard: jac})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Render writes the report as aligned plain text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Assertion-catalog utility over %d runs\n", r.Runs)
+	fmt.Fprintf(&b, "%-5s %9s %10s %7s %6s %6s %4s %8s\n",
+		"id", "episodes", "runsFired", "labels", "first", "sole", "FP", "meanLat")
+	for _, s := range r.PerAssertion {
+		fmt.Fprintf(&b, "%-5s %9d %10d %7d %6d %6d %4d %7.2fs\n",
+			s.ID, s.Episodes, s.RunsFired, s.LabelsCovered, s.FirstDetector, s.SoleDetector, s.FalsePositives, s.MeanLatency)
+	}
+	if len(r.Dead) > 0 {
+		fmt.Fprintf(&b, "dead (never fired post-onset): %s\n", strings.Join(r.Dead, " "))
+	}
+	for _, p := range r.Redundant {
+		fmt.Fprintf(&b, "redundant pair: %s ~ %s (jaccard %.2f)\n", p.A, p.B, p.Jaccard)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package coverage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adassure/internal/core"
+)
+
+func viol(id string, t float64) core.Violation {
+	return core.Violation{AssertionID: id, T: t, Duration: 0.5}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestAnalyzeBasicStats(t *testing.T) {
+	runs := []Run{
+		{Label: "step", Onset: 20, Violations: []core.Violation{viol("A1", 20.1), viol("A10", 20.3)}},
+		{Label: "step", Onset: 20, Violations: []core.Violation{viol("A1", 20.2)}},
+		{Label: "drift", Onset: 20, Violations: []core.Violation{viol("A13", 26.5), viol("A1", 50.1)}},
+		{Label: "clean", Onset: -1, Violations: []core.Violation{viol("A3", 5)}},
+	}
+	rep, err := Analyze(runs, []string{"A1", "A3", "A10", "A13", "A99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 4 {
+		t.Errorf("runs = %d", rep.Runs)
+	}
+	find := func(id string) AssertionStats {
+		for _, s := range rep.PerAssertion {
+			if s.ID == id {
+				return s
+			}
+		}
+		t.Fatalf("no stats for %s", id)
+		return AssertionStats{}
+	}
+	a1 := find("A1")
+	if a1.Episodes != 3 || a1.RunsFired != 3 || a1.FirstDetector != 2 {
+		t.Errorf("A1 stats = %+v", a1)
+	}
+	if a1.LabelsCovered != 2 { // step + drift (late snap)
+		t.Errorf("A1 labels = %d", a1.LabelsCovered)
+	}
+	a13 := find("A13")
+	if a13.FirstDetector != 1 || a13.SoleDetector != 0 {
+		t.Errorf("A13 stats = %+v", a13)
+	}
+	// The second step run has only A1 → sole detector there.
+	if a1.SoleDetector != 1 {
+		t.Errorf("A1 sole = %d, want 1", a1.SoleDetector)
+	}
+	// Clean-run A3 episode counts as a false positive.
+	a3 := find("A3")
+	if a3.FalsePositives != 1 || a3.RunsFired != 0 {
+		t.Errorf("A3 stats = %+v", a3)
+	}
+	// A99 registered but never fired → dead.
+	if len(rep.Dead) == 0 || rep.Dead[len(rep.Dead)-1] != "A99" {
+		t.Errorf("dead = %v", rep.Dead)
+	}
+}
+
+func TestAnalyzeLatency(t *testing.T) {
+	runs := []Run{
+		{Label: "x", Onset: 10, Violations: []core.Violation{viol("A1", 11), viol("A1", 15)}},
+		{Label: "x", Onset: 10, Violations: []core.Violation{viol("A1", 13)}},
+	}
+	rep, err := Analyze(runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latencies: first episodes at 1 s and 3 s → mean 2 s.
+	if got := rep.PerAssertion[0].MeanLatency; got != 2 {
+		t.Errorf("mean latency = %g, want 2", got)
+	}
+}
+
+func TestAnalyzeRedundancy(t *testing.T) {
+	// A1 and A10 co-fire in all 4 runs; A5 fires in different runs.
+	var runs []Run
+	for i := 0; i < 4; i++ {
+		runs = append(runs, Run{Label: "x", Onset: 10, Violations: []core.Violation{
+			viol("A1", 11), viol("A10", 11.2),
+		}})
+	}
+	runs = append(runs, Run{Label: "y", Onset: 10, Violations: []core.Violation{viol("A5", 11)}})
+	rep, err := Analyze(runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Redundant {
+		if (p.A == "A1" && p.B == "A10") || (p.A == "A10" && p.B == "A1") {
+			found = true
+			if p.Jaccard != 1 {
+				t.Errorf("jaccard = %g", p.Jaccard)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("A1/A10 redundancy not detected: %v", rep.Redundant)
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	runs := []Run{{Label: "x", Onset: 10, Violations: []core.Violation{viol("A1", 11)}}}
+	rep, err := Analyze(runs, []string{"A1", "A2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"utility over 1 runs", "A1", "dead (never fired post-onset): A2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDatasetCSV(t *testing.T) {
+	runs := []Run{
+		{Label: "step", Onset: 20, Violations: []core.Violation{
+			{AssertionID: "A1", T: 20.1, Duration: 0.3},
+			{AssertionID: "A1", T: 25, Duration: 0.2},
+			{AssertionID: "A10", T: 20.3}, // open episode
+		}},
+		{Label: "clean", Onset: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, runs, []string{"A10", "A1"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "label,onset,A1_episodes,A1_max_duration,A1_first_latency,A10_episodes,A10_max_duration,A10_first_latency" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Step row: A1 2 episodes, max dur 0.3, first latency 0.1; A10 open → -1.
+	want := "step,20,2,0.3,0.1"
+	if !strings.HasPrefix(lines[1], want) {
+		t.Errorf("row1 = %q, want prefix %q", lines[1], want)
+	}
+	if !strings.HasSuffix(lines[1], ",1,-1,0.2999999999999996") && !strings.Contains(lines[1], ",1,-1,0.3") {
+		t.Errorf("row1 A10 fields wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "clean,-1,0,0,-1,0,0,-1") {
+		t.Errorf("clean row = %q", lines[2])
+	}
+	// Validation.
+	if err := WriteDatasetCSV(&buf, nil, []string{"A1"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if err := WriteDatasetCSV(&buf, runs, nil); err == nil {
+		t.Error("empty universe accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package coverage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// DatasetColumns returns the feature schema used by WriteDatasetCSV for a
+// given assertion-ID universe: per assertion, episode count, longest
+// episode duration and first post-onset latency, plus the label column.
+func DatasetColumns(ids []string) []string {
+	cols := []string{"label", "onset"}
+	for _, id := range ids {
+		cols = append(cols,
+			id+"_episodes",
+			id+"_max_duration",
+			id+"_first_latency",
+		)
+	}
+	return cols
+}
+
+// WriteDatasetCSV exports the corpus as a labelled feature table — one row
+// per run — for external analysis or ML tooling. ids fixes the column
+// universe (pass the registered catalog IDs for a stable schema). Missing
+// features are encoded as 0 (episodes), 0 (duration) and -1 (latency,
+// meaning "never fired post-onset"); episodes still open at end of run get
+// duration -1.
+func WriteDatasetCSV(w io.Writer, runs []Run, ids []string) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("coverage: empty corpus")
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("coverage: dataset needs an assertion-ID universe")
+	}
+	sorted := make([]string, len(ids))
+	copy(sorted, ids)
+	sort.Strings(sorted)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(DatasetColumns(sorted)); err != nil {
+		return fmt.Errorf("coverage: write header: %w", err)
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range runs {
+		episodes := map[string]int{}
+		maxDur := map[string]float64{}
+		firstLat := map[string]float64{}
+		for _, v := range r.Violations {
+			episodes[v.AssertionID]++
+			d := v.Duration
+			if d == 0 {
+				d = math.Inf(1) // still open at end of run
+			}
+			if d > maxDur[v.AssertionID] {
+				maxDur[v.AssertionID] = d
+			}
+			if r.Onset >= 0 && v.T >= r.Onset {
+				lat := v.T - r.Onset
+				if old, ok := firstLat[v.AssertionID]; !ok || lat < old {
+					firstLat[v.AssertionID] = lat
+				}
+			}
+		}
+		row := []string{r.Label, ff(r.Onset)}
+		for _, id := range sorted {
+			row = append(row, strconv.Itoa(episodes[id]))
+			row = append(row, ff(boundedDuration(maxDur[id])))
+			if lat, ok := firstLat[id]; ok {
+				row = append(row, ff(lat))
+			} else {
+				row = append(row, "-1")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("coverage: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// boundedDuration clamps +Inf (open episodes in Signature form) for CSV.
+func boundedDuration(d float64) float64 {
+	if math.IsInf(d, 1) {
+		return -1
+	}
+	return d
+}

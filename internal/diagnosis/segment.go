@@ -1,0 +1,108 @@
+package diagnosis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adassure/internal/core"
+)
+
+// Segment is one temporally-coherent group of violations with its own
+// diagnosis — the unit of analysis for drives containing multiple
+// incidents.
+type Segment struct {
+	// Start and End bound the segment (first raise to last episode end,
+	// or last raise when the final episode is still open).
+	Start, End float64
+	// Violations are the episodes assigned to the segment.
+	Violations []core.Violation
+	// Hypotheses is the ranked diagnosis of this segment alone.
+	Hypotheses []Hypothesis
+}
+
+// SegmentOptions tunes the segmentation.
+type SegmentOptions struct {
+	// QuietGap is the minimum violation-free time that separates two
+	// incidents (default 5 s).
+	QuietGap float64
+}
+
+// Segmentize splits a violation record into incident segments separated by
+// quiet gaps and diagnoses each — the multi-incident extension of
+// Diagnose. Violations must be in raise order (as the Monitor records
+// them). An empty record yields no segments.
+func Segmentize(vs []core.Violation, opts SegmentOptions) []Segment {
+	if opts.QuietGap <= 0 {
+		opts.QuietGap = 5
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	var segs []Segment
+	cur := Segment{Start: vs[0].T, End: segEnd(vs[0])}
+	cur.Violations = append(cur.Violations, vs[0])
+	for _, v := range vs[1:] {
+		if v.T-cur.End > opts.QuietGap {
+			segs = append(segs, cur)
+			cur = Segment{Start: v.T, End: segEnd(v)}
+			cur.Violations = []core.Violation{v}
+			continue
+		}
+		cur.Violations = append(cur.Violations, v)
+		if e := segEnd(v); e > cur.End {
+			cur.End = e
+		}
+	}
+	segs = append(segs, cur)
+	for i := range segs {
+		segs[i].Hypotheses = Diagnose(segs[i].Violations)
+	}
+	return segs
+}
+
+// segEnd returns when a violation episode stopped contributing activity:
+// its close time when known, otherwise the raise time.
+func segEnd(v core.Violation) float64 {
+	if v.Duration > 0 && !math.IsInf(v.Duration, 1) {
+		return v.T + v.Duration
+	}
+	return v.T
+}
+
+// SegmentReport renders a multi-incident debugging report.
+func SegmentReport(vs []core.Violation, opts SegmentOptions) string {
+	segs := Segmentize(vs, opts)
+	var b strings.Builder
+	b.WriteString("ADAssure multi-incident report\n==============================\n")
+	if len(segs) == 0 {
+		b.WriteString("No violations recorded: nominal run.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d incident segment(s) found.\n", len(segs))
+	for i, s := range segs {
+		fmt.Fprintf(&b, "\nincident %d: t=%.2f–%.2f s, %d episodes\n", i+1, s.Start, s.End, len(s.Violations))
+		ids := map[string]int{}
+		for _, v := range s.Violations {
+			ids[v.AssertionID]++
+		}
+		fmt.Fprintf(&b, "  assertions: %s\n", compactCounts(ids))
+		top := s.Hypotheses[0]
+		fmt.Fprintf(&b, "  diagnosis: %s (%.0f%%) — %s\n", top.Cause, top.Confidence*100, top.Rationale)
+	}
+	return b.String()
+}
+
+func compactCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s×%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

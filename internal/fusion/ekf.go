@@ -1,0 +1,284 @@
+// Package fusion implements the localization stack the controllers consume:
+// an extended Kalman filter over [x, y, heading, speed] fed by IMU
+// (prediction) and GNSS/odometry (updates), with χ²-gated innovations, plus
+// a dead-reckoning fallback. The innovation statistics it exposes feed the
+// A10 InnovationGate assertion; the gating switch is the "guard" the
+// debug-loop experiment toggles.
+package fusion
+
+import (
+	"fmt"
+	"math"
+
+	"adassure/internal/geom"
+	"adassure/internal/sensors"
+)
+
+// Estimate is the fused localization output consumed by the controllers.
+type Estimate struct {
+	T       float64
+	Pose    geom.Pose
+	Speed   float64
+	YawRate float64
+	// PosStdDev is the 1-σ position uncertainty (geometric mean of the two
+	// axes), handy for monitoring.
+	PosStdDev float64
+}
+
+// EKFConfig parameterises the filter.
+type EKFConfig struct {
+	// Process noise (continuous-time spectral densities, discretised by dt).
+	PosProcNoise     float64 // m²/s  (default 0.05)
+	HeadingProcNoise float64 // rad²/s (default 0.01)
+	SpeedProcNoise   float64 // (m/s)²/s (default 0.5)
+
+	// Measurement noise (1-σ).
+	GNSSPosStdDev  float64 // m (default 0.2)
+	OdomSpeedStdev float64 // m/s (default 0.05)
+
+	// GateThreshold is the χ² gate on the normalised innovation squared.
+	// GNSS position updates are 2-DOF: 9.21 ≈ 99th percentile. Zero
+	// disables gating (the unguarded configuration in the experiments).
+	GateThreshold float64
+	// InitialPosStdDev seeds the covariance (default 1 m).
+	InitialPosStdDev float64
+}
+
+func (c *EKFConfig) defaults() {
+	if c.PosProcNoise <= 0 {
+		c.PosProcNoise = 0.05
+	}
+	if c.HeadingProcNoise <= 0 {
+		c.HeadingProcNoise = 0.01
+	}
+	if c.SpeedProcNoise <= 0 {
+		c.SpeedProcNoise = 0.5
+	}
+	if c.GNSSPosStdDev <= 0 {
+		c.GNSSPosStdDev = 0.2
+	}
+	if c.OdomSpeedStdev <= 0 {
+		c.OdomSpeedStdev = 0.05
+	}
+	if c.InitialPosStdDev <= 0 {
+		c.InitialPosStdDev = 1
+	}
+}
+
+// DefaultGate is the 99th-percentile χ² threshold for the 2-DOF GNSS
+// position innovation.
+const DefaultGate = 9.21
+
+// EKF is an extended Kalman filter over the state [x, y, θ, v].
+// It is not safe for concurrent use.
+type EKF struct {
+	cfg EKFConfig
+
+	x Mat // 4×1 state
+	p Mat // 4×4 covariance
+	t float64
+
+	yawRate float64 // latest IMU yaw rate, for the estimate output
+
+	lastNIS      float64 // latest GNSS normalised innovation squared
+	lastAccepted bool
+	rejectStreak int
+	initialized  bool
+}
+
+// NewEKF builds a filter initialised at the given pose and speed.
+func NewEKF(cfg EKFConfig, t0 float64, pose geom.Pose, speed float64) *EKF {
+	cfg.defaults()
+	f := &EKF{cfg: cfg, x: NewMat(4, 1), p: Eye(4), t: t0, initialized: true}
+	f.x.Set(0, 0, pose.Pos.X)
+	f.x.Set(1, 0, pose.Pos.Y)
+	f.x.Set(2, 0, pose.Heading)
+	f.x.Set(3, 0, speed)
+	s2 := cfg.InitialPosStdDev * cfg.InitialPosStdDev
+	f.p.Set(0, 0, s2)
+	f.p.Set(1, 1, s2)
+	f.p.Set(2, 2, 0.05)
+	f.p.Set(3, 3, 0.25)
+	f.lastAccepted = true
+	return f
+}
+
+// Time returns the filter's current time.
+func (f *EKF) Time() float64 { return f.t }
+
+// PredictIMU propagates the state to reading time using the IMU's yaw rate
+// and longitudinal acceleration. Out-of-order readings are ignored.
+func (f *EKF) PredictIMU(r sensors.IMUReading) {
+	if !r.Valid || r.T <= f.t {
+		return
+	}
+	dt := r.T - f.t
+	f.t = r.T
+	f.yawRate = r.YawRate
+
+	th := f.x.At(2, 0)
+	v := f.x.At(3, 0)
+	// Midpoint heading for the position propagation.
+	thMid := th + r.YawRate*dt/2
+	f.x.Set(0, 0, f.x.At(0, 0)+v*math.Cos(thMid)*dt)
+	f.x.Set(1, 0, f.x.At(1, 0)+v*math.Sin(thMid)*dt)
+	f.x.Set(2, 0, geom.NormalizeAngle(th+r.YawRate*dt))
+	f.x.Set(3, 0, math.Max(0, v+r.Accel*dt))
+
+	// Jacobian of the motion model wrt the state.
+	F := Eye(4)
+	F.Set(0, 2, -v*math.Sin(thMid)*dt)
+	F.Set(0, 3, math.Cos(thMid)*dt)
+	F.Set(1, 2, v*math.Cos(thMid)*dt)
+	F.Set(1, 3, math.Sin(thMid)*dt)
+
+	Q := NewMat(4, 4)
+	Q.Set(0, 0, f.cfg.PosProcNoise*dt)
+	Q.Set(1, 1, f.cfg.PosProcNoise*dt)
+	Q.Set(2, 2, f.cfg.HeadingProcNoise*dt)
+	Q.Set(3, 3, f.cfg.SpeedProcNoise*dt)
+
+	f.p = F.Mul(f.p).Mul(F.T()).Add(Q).Symmetrize()
+}
+
+// UpdateGNSS fuses a position fix. It returns the normalised innovation
+// squared (NIS) and whether the measurement was accepted. With gating
+// enabled, measurements whose NIS exceeds the threshold are rejected and
+// do not perturb the state — the fusion-level "guard".
+func (f *EKF) UpdateGNSS(fix sensors.GNSSFix) (nis float64, accepted bool) {
+	if !fix.Valid {
+		return 0, false
+	}
+	// H selects [x, y].
+	H := NewMat(2, 4)
+	H.Set(0, 0, 1)
+	H.Set(1, 1, 1)
+	R := NewMat(2, 2)
+	r2 := f.cfg.GNSSPosStdDev * f.cfg.GNSSPosStdDev
+	R.Set(0, 0, r2)
+	R.Set(1, 1, r2)
+
+	// Innovation.
+	y := NewMat(2, 1)
+	y.Set(0, 0, fix.Pos.X-f.x.At(0, 0))
+	y.Set(1, 0, fix.Pos.Y-f.x.At(1, 0))
+
+	S := H.Mul(f.p).Mul(H.T()).Add(R)
+	SInv := S.Inv()
+	nisM := y.T().Mul(SInv).Mul(y)
+	nis = nisM.At(0, 0)
+	f.lastNIS = nis
+
+	if f.cfg.GateThreshold > 0 && nis > f.cfg.GateThreshold {
+		f.lastAccepted = false
+		f.rejectStreak++
+		return nis, false
+	}
+	f.lastAccepted = true
+	f.rejectStreak = 0
+
+	K := f.p.Mul(H.T()).Mul(SInv)
+	dx := K.Mul(y)
+	f.x = f.x.Add(dx)
+	f.x.Set(2, 0, geom.NormalizeAngle(f.x.At(2, 0)))
+	f.x.Set(3, 0, math.Max(0, f.x.At(3, 0)))
+	f.p = Eye(4).Sub(K.Mul(H)).Mul(f.p).Symmetrize()
+	return nis, true
+}
+
+// UpdateOdom fuses a wheel-speed measurement (1-DOF, ungated — wheel odometry
+// is the trusted channel in this stack).
+func (f *EKF) UpdateOdom(r sensors.OdomReading) {
+	if !r.Valid {
+		return
+	}
+	H := NewMat(1, 4)
+	H.Set(0, 3, 1)
+	R := NewMat(1, 1)
+	R.Set(0, 0, f.cfg.OdomSpeedStdev*f.cfg.OdomSpeedStdev)
+	y := NewMat(1, 1)
+	y.Set(0, 0, r.Speed-f.x.At(3, 0))
+	S := H.Mul(f.p).Mul(H.T()).Add(R)
+	K := f.p.Mul(H.T()).Mul(S.Inv())
+	f.x = f.x.Add(K.Mul(y))
+	f.x.Set(3, 0, math.Max(0, f.x.At(3, 0)))
+	f.p = Eye(4).Sub(K.Mul(H)).Mul(f.p).Symmetrize()
+}
+
+// Estimate returns the current fused estimate.
+func (f *EKF) Estimate() Estimate {
+	sx := math.Sqrt(math.Max(0, f.p.At(0, 0)))
+	sy := math.Sqrt(math.Max(0, f.p.At(1, 1)))
+	return Estimate{
+		T:         f.t,
+		Pose:      geom.Pose{Pos: geom.V(f.x.At(0, 0), f.x.At(1, 0)), Heading: f.x.At(2, 0)},
+		Speed:     f.x.At(3, 0),
+		YawRate:   f.yawRate,
+		PosStdDev: math.Sqrt(sx * sy),
+	}
+}
+
+// LastNIS returns the normalised innovation squared of the most recent GNSS
+// update attempt, and whether it was accepted. Feeds assertion A10.
+func (f *EKF) LastNIS() (nis float64, accepted bool) { return f.lastNIS, f.lastAccepted }
+
+// RejectStreak returns how many consecutive GNSS updates the gate has
+// rejected — the signal the guarded stack uses to fall back to dead
+// reckoning and brake.
+func (f *EKF) RejectStreak() int { return f.rejectStreak }
+
+// Covariance returns a copy of the covariance matrix (for tests and
+// diagnostics).
+func (f *EKF) Covariance() Mat { return f.p.Clone() }
+
+// String implements fmt.Stringer.
+func (f *EKF) String() string {
+	e := f.Estimate()
+	return fmt.Sprintf("ekf{t=%.2f %s v=%.2f σ=%.2f}", e.T, e.Pose, e.Speed, e.PosStdDev)
+}
+
+// DeadReckoner integrates IMU heading and odometry speed from a reference
+// pose — the fallback localizer when GNSS is rejected or absent.
+type DeadReckoner struct {
+	t       float64
+	pose    geom.Pose
+	speed   float64
+	yawRate float64
+	init    bool
+}
+
+// NewDeadReckoner starts dead reckoning from the given pose and speed.
+func NewDeadReckoner(t0 float64, pose geom.Pose, speed float64) *DeadReckoner {
+	return &DeadReckoner{t: t0, pose: pose, speed: speed, init: true}
+}
+
+// Reset re-anchors the reckoner (e.g. to the latest trusted EKF estimate).
+func (d *DeadReckoner) Reset(t float64, pose geom.Pose, speed float64) {
+	d.t, d.pose, d.speed, d.init = t, pose, speed, true
+}
+
+// StepIMU advances the pose using an IMU reading.
+func (d *DeadReckoner) StepIMU(r sensors.IMUReading) {
+	if !d.init || !r.Valid || r.T <= d.t {
+		return
+	}
+	dt := r.T - d.t
+	d.t = r.T
+	d.yawRate = r.YawRate
+	thMid := d.pose.Heading + r.YawRate*dt/2
+	d.pose.Pos = d.pose.Pos.Add(geom.V(math.Cos(thMid), math.Sin(thMid)).Scale(d.speed * dt))
+	d.pose.Heading = geom.NormalizeAngle(d.pose.Heading + r.YawRate*dt)
+	d.speed = math.Max(0, d.speed+r.Accel*dt)
+}
+
+// ObserveOdom snaps the speed to a wheel-odometry reading.
+func (d *DeadReckoner) ObserveOdom(r sensors.OdomReading) {
+	if r.Valid {
+		d.speed = r.Speed
+	}
+}
+
+// Estimate returns the dead-reckoned estimate.
+func (d *DeadReckoner) Estimate() Estimate {
+	return Estimate{T: d.t, Pose: d.pose, Speed: d.speed, YawRate: d.yawRate, PosStdDev: math.Inf(1)}
+}

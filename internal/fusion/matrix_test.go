@@ -1,0 +1,141 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func matEq(a, b Mat, tol float64) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Abs(a.At(i, j)-b.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 || m.At(1, 2) != 0 {
+		t.Error("Set/At broken")
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Error("dims broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMat(0,1) should panic")
+		}
+	}()
+	NewMat(0, 1)
+}
+
+func TestMatAddSubMul(t *testing.T) {
+	a := NewMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := Eye(2)
+	sum := a.Add(b)
+	if sum.At(0, 0) != 2 || sum.At(1, 1) != 5 {
+		t.Error("Add broken")
+	}
+	diff := a.Sub(b)
+	if diff.At(0, 0) != 0 || diff.At(0, 1) != 2 {
+		t.Error("Sub broken")
+	}
+	prod := a.Mul(a)
+	// [[1,2],[3,4]]² = [[7,10],[15,22]]
+	want := NewMat(2, 2)
+	want.Set(0, 0, 7)
+	want.Set(0, 1, 10)
+	want.Set(1, 0, 15)
+	want.Set(1, 1, 22)
+	if !matEq(prod, want, 1e-12) {
+		t.Errorf("Mul broken: %+v", prod)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Mul should panic")
+		}
+	}()
+	NewMat(2, 3).Mul(NewMat(2, 3))
+}
+
+func TestMatTranspose(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 2, 7)
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 || mt.At(2, 0) != 7 {
+		t.Error("transpose broken")
+	}
+}
+
+func TestMatInv(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, 4)
+	m.Set(0, 1, 7)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 6)
+	inv := m.Inv()
+	if !matEq(m.Mul(inv), Eye(2), 1e-10) {
+		t.Error("Inv: m·m⁻¹ != I")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("singular Inv should panic")
+		}
+	}()
+	NewMat(2, 2).Inv()
+}
+
+func TestMatInvProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		// Build a well-conditioned SPD matrix M = AᵀA + I.
+		m := NewMat(2, 2)
+		m.Set(0, 0, a)
+		m.Set(0, 1, b)
+		m.Set(1, 0, c)
+		m.Set(1, 1, d)
+		spd := m.T().Mul(m).Add(Eye(2))
+		return matEq(spd.Mul(spd.Inv()), Eye(2), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatSymmetrize(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 4)
+	s := m.Symmetrize()
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 {
+		t.Error("Symmetrize broken")
+	}
+}
+
+func TestMatClone(t *testing.T) {
+	m := Eye(2)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases storage")
+	}
+}

@@ -1,0 +1,165 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustPolyline(t *testing.T, pts []Vec2) *Polyline {
+	t.Helper()
+	p, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatalf("NewPolyline: %v", err)
+	}
+	return p
+}
+
+func TestPolylineRejectsDegenerate(t *testing.T) {
+	if _, err := NewPolyline(nil); !errors.Is(err, ErrDegeneratePath) {
+		t.Errorf("nil points: err=%v", err)
+	}
+	if _, err := NewPolyline([]Vec2{{1, 1}, {1, 1}}); !errors.Is(err, ErrDegeneratePath) {
+		t.Errorf("duplicate points: err=%v", err)
+	}
+	if _, err := NewPolyline([]Vec2{{0, 0}, {math.NaN(), 1}}); !errors.Is(err, ErrDegeneratePath) {
+		t.Errorf("NaN point: err=%v", err)
+	}
+	if _, err := NewClosedPolyline([]Vec2{{0, 0}, {1, 0}}); !errors.Is(err, ErrDegeneratePath) {
+		t.Errorf("2-point loop: err=%v", err)
+	}
+}
+
+func TestPolylineLengthAndPointAt(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {3, 0}, {3, 4}})
+	approx(t, p.Length(), 7, eps, "length")
+	got := p.PointAt(3)
+	if got.Dist(V(3, 0)) > eps {
+		t.Errorf("PointAt(3) = %v", got)
+	}
+	got = p.PointAt(5)
+	if got.Dist(V(3, 2)) > eps {
+		t.Errorf("PointAt(5) = %v", got)
+	}
+	// Clamping.
+	if p.PointAt(-1).Dist(V(0, 0)) > eps {
+		t.Error("PointAt(-1) should clamp to start")
+	}
+	if p.PointAt(100).Dist(V(3, 4)) > eps {
+		t.Error("PointAt(100) should clamp to end")
+	}
+}
+
+func TestPolylineHeading(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {1, 0}, {1, 1}})
+	approx(t, p.HeadingAt(0.5), 0, eps, "first segment heading")
+	approx(t, p.HeadingAt(1.5), math.Pi/2, eps, "second segment heading")
+}
+
+func TestClosedPolylineWraps(t *testing.T) {
+	sq, err := NewClosedPolyline([]Vec2{{0, 0}, {1, 0}, {1, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sq.Length(), 4, eps, "square perimeter")
+	if !sq.Closed() {
+		t.Error("Closed() = false")
+	}
+	// Wrapping: s=4.5 equals s=0.5.
+	if sq.PointAt(4.5).Dist(sq.PointAt(0.5)) > eps {
+		t.Error("wrap at s=4.5")
+	}
+	if sq.PointAt(-0.5).Dist(sq.PointAt(3.5)) > eps {
+		t.Error("negative wrap")
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {10, 0}})
+	s, lat := p.Project(V(3, 2))
+	approx(t, s, 3, eps, "project s")
+	approx(t, lat, 2, eps, "project lateral (left positive)")
+	s, lat = p.Project(V(7, -1))
+	approx(t, s, 7, eps, "project s right side")
+	approx(t, lat, -1, eps, "project lateral right side")
+	// Beyond the end clamps to the endpoint.
+	s, _ = p.Project(V(15, 0))
+	approx(t, s, 10, eps, "project past end")
+}
+
+func TestPolylineProjectRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Random jagged open path.
+	pts := []Vec2{{0, 0}}
+	for i := 0; i < 20; i++ {
+		last := pts[len(pts)-1]
+		pts = append(pts, last.Add(V(rng.Float64()*5+0.5, rng.Float64()*4-2)))
+	}
+	p := mustPolyline(t, pts)
+	f := func(frac float64) bool {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			return true
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		s := frac * p.Length()
+		q := p.PointAt(s)
+		s2, lat := p.Project(q)
+		// A point on the path projects to itself with ~zero lateral offset.
+		return math.Abs(lat) < 1e-6 && p.PointAt(s2).Dist(q) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineCurvatureSign(t *testing.T) {
+	// Left turn: positive curvature near the corner.
+	left := mustPolyline(t, []Vec2{{0, 0}, {5, 0}, {5, 5}})
+	if k := left.CurvatureAt(5); k <= 0 {
+		t.Errorf("left turn curvature = %g, want > 0", k)
+	}
+	right := mustPolyline(t, []Vec2{{0, 0}, {5, 0}, {5, -5}})
+	if k := right.CurvatureAt(5); k >= 0 {
+		t.Errorf("right turn curvature = %g, want < 0", k)
+	}
+	// Open-path endpoints have zero turn.
+	if k := left.CurvatureAt(0); k != 0 {
+		t.Errorf("start curvature = %g, want 0", k)
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {10, 0}})
+	r, err := p.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Length(), 10, 1e-6, "resampled length")
+	if n := len(r.Points()); n != 11 {
+		t.Errorf("resampled vertex count = %d, want 11", n)
+	}
+	if _, err := p.Resample(0); err == nil {
+		t.Error("Resample(0) should fail")
+	}
+}
+
+func TestPolylineArcLengthMonotoneProperty(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {4, 1}, {6, -2}, {9, 3}, {12, 3}})
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Abs(math.Mod(a, 1)) * p.Length()
+		b = math.Abs(math.Mod(b, 1)) * p.Length()
+		if a > b {
+			a, b = b, a
+		}
+		// Distance along chord never exceeds arc-length difference.
+		return p.PointAt(a).Dist(p.PointAt(b)) <= (b-a)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

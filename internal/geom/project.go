@@ -1,0 +1,86 @@
+package geom
+
+import "math"
+
+// RangeProjector is implemented by paths that can project a point onto a
+// bounded arc-length window. Route followers use it to keep a continuous
+// arc position across self-intersecting paths (e.g. a figure-eight), where
+// the globally nearest point may belong to the other branch.
+type RangeProjector interface {
+	// ProjectRange returns the arc position and signed lateral offset of
+	// the point on the path closest to q, considering only arc positions
+	// in [s0, s1] (wrapped on closed paths).
+	ProjectRange(q Vec2, s0, s1 float64) (s, lateral float64)
+}
+
+// ProjectRange implements RangeProjector for polylines by scanning only the
+// segments overlapping the window.
+func (p *Polyline) ProjectRange(q Vec2, s0, s1 float64) (s, lateral float64) {
+	if s1 <= s0 {
+		return p.Project(q)
+	}
+	L := p.Length()
+	if !p.closed {
+		s0 = Clamp(s0, 0, L)
+		s1 = Clamp(s1, 0, L)
+		if s1 <= s0 {
+			return p.Project(q)
+		}
+	} else if s1-s0 >= L {
+		return p.Project(q)
+	}
+
+	bestD2 := math.Inf(1)
+	bestS, bestLat := 0.0, 0.0
+	nSeg := len(p.cum) - 1
+	consider := func(i int) {
+		a, b := p.segStart(i), p.segEnd(i)
+		ab := b.Sub(a)
+		L2 := ab.NormSq()
+		var t float64
+		if L2 > 0 {
+			t = Clamp(q.Sub(a).Dot(ab)/L2, 0, 1)
+		}
+		cp := a.Lerp(b, t)
+		d2 := q.Sub(cp).NormSq()
+		if d2 < bestD2 {
+			bestD2 = d2
+			bestS = p.cum[i] + t*math.Sqrt(L2)
+			bestLat = math.Copysign(math.Sqrt(d2), ab.Cross(q.Sub(a)))
+		}
+	}
+	inWindow := func(lo, hi float64) bool {
+		if !p.closed {
+			return hi >= s0 && lo <= s1
+		}
+		// Wrap the window into [0, L) pieces.
+		w0 := math.Mod(s0, L)
+		if w0 < 0 {
+			w0 += L
+		}
+		w1 := w0 + (s1 - s0)
+		if w1 <= L {
+			return hi >= w0 && lo <= w1
+		}
+		return hi >= w0 || lo <= w1-L
+	}
+	for i := 0; i < nSeg; i++ {
+		if inWindow(p.cum[i], p.cum[i+1]) {
+			consider(i)
+		}
+	}
+	if math.IsInf(bestD2, 1) {
+		return p.Project(q)
+	}
+	return bestS, bestLat
+}
+
+// ProjectRange implements RangeProjector for splines via the lattice.
+func (s *Spline) ProjectRange(q Vec2, s0, s1 float64) (arc, lateral float64) {
+	return s.lattice.ProjectRange(q, s0, s1)
+}
+
+var (
+	_ RangeProjector = (*Polyline)(nil)
+	_ RangeProjector = (*Spline)(nil)
+)

@@ -1,0 +1,74 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProjectRangeRestrictsWindow(t *testing.T) {
+	// A U-shaped path whose two legs are spatially close: global projection
+	// from a point near leg 1 but slightly closer to leg 2 picks leg 2; a
+	// windowed projection around leg 1 must stay on leg 1.
+	p := mustPolyline(t, []Vec2{{0, 0}, {20, 0}, {20, 4}, {0, 4}})
+	q := V(10, 2.5) // between the legs, nearer the return leg (y=4)
+	sGlobal, _ := p.Project(q)
+	if sGlobal < 24 { // 20 + 4 → return leg starts at s=24
+		t.Fatalf("global projection s=%.1f should pick the return leg", sGlobal)
+	}
+	sLocal, lat := p.ProjectRange(q, 5, 15)
+	if sLocal < 5 || sLocal > 15 {
+		t.Errorf("windowed projection escaped: s=%.1f", sLocal)
+	}
+	if math.Abs(lat-2.5) > 1e-9 {
+		t.Errorf("windowed lateral = %g, want 2.5", lat)
+	}
+}
+
+func TestProjectRangeEmptyWindowFallsBack(t *testing.T) {
+	p := mustPolyline(t, []Vec2{{0, 0}, {10, 0}})
+	s, lat := p.ProjectRange(V(3, 1), 8, 4) // inverted window
+	sg, lg := p.Project(V(3, 1))
+	if s != sg || lat != lg {
+		t.Error("inverted window should fall back to global projection")
+	}
+	// Window entirely outside an open path clamps to nothing → fallback.
+	s, _ = p.ProjectRange(V(3, 1), 50, 60)
+	if s != sg {
+		t.Errorf("out-of-path window: s=%g, want global %g", s, sg)
+	}
+}
+
+func TestProjectRangeWrapsOnClosedPaths(t *testing.T) {
+	sq, err := NewClosedPolyline([]Vec2{{0, 0}, {10, 0}, {10, 10}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window straddling the wrap point (s=38..42 on a 40 m loop covers the
+	// last 2 m and first 2 m).
+	q := V(1, -0.5) // near the start of the first edge
+	s, lat := sq.ProjectRange(q, 38, 42)
+	if s > 3 && s < 37 {
+		t.Errorf("wrapped window projection s=%.1f escaped the window", s)
+	}
+	if math.Abs(lat+0.5) > 1e-9 {
+		t.Errorf("lateral = %g, want -0.5", lat)
+	}
+	// Window covering the whole loop behaves like global.
+	sg, _ := sq.Project(q)
+	s, _ = sq.ProjectRange(q, 0, 100)
+	if s != sg {
+		t.Errorf("full window s=%g vs global %g", s, sg)
+	}
+}
+
+func TestSplineProjectRangeDelegates(t *testing.T) {
+	sp, err := NewSpline(circleControls(20, 24), SplineOpts{Spacing: 0.25, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sp.PointAt(30).Add(V(0.5, 0))
+	s, _ := sp.ProjectRange(q, 25, 35)
+	if s < 25 || s > 35 {
+		t.Errorf("spline windowed projection s=%.1f outside window", s)
+	}
+}

@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func circleControls(r float64, n int) []Vec2 {
+	pts := make([]Vec2, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = V(r*math.Cos(a), r*math.Sin(a))
+	}
+	return pts
+}
+
+func TestSplineRejectsDegenerate(t *testing.T) {
+	if _, err := NewSpline(nil, SplineOpts{}); err == nil {
+		t.Error("nil controls should fail")
+	}
+	if _, err := NewSpline([]Vec2{{0, 0}, {1, 1}}, SplineOpts{Closed: true}); err == nil {
+		t.Error("2-point closed spline should fail")
+	}
+	if _, err := NewSpline([]Vec2{{0, 0}, {math.Inf(1), 0}}, SplineOpts{}); err == nil {
+		t.Error("inf control should fail")
+	}
+}
+
+func TestSplineInterpolatesControls(t *testing.T) {
+	ctrl := []Vec2{{0, 0}, {5, 2}, {10, -1}, {15, 4}}
+	sp, err := NewSpline(ctrl, SplineOpts{Spacing: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ctrl {
+		s, lat := sp.Project(c)
+		if math.Abs(lat) > 0.02 {
+			t.Errorf("control %v is %.4f m off the spline (s=%.2f)", c, lat, s)
+		}
+	}
+}
+
+func TestSplineCircleGeometry(t *testing.T) {
+	const r = 20.0
+	sp, err := NewSpline(circleControls(r, 24), SplineOpts{Spacing: 0.2, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Closed() {
+		t.Fatal("circle spline should be closed")
+	}
+	wantLen := 2 * math.Pi * r
+	if math.Abs(sp.Length()-wantLen) > 0.02*wantLen {
+		t.Errorf("circle length = %.2f, want ~%.2f", sp.Length(), wantLen)
+	}
+	// Curvature ≈ 1/r everywhere (CCW circle → positive).
+	for i := 0; i < 50; i++ {
+		s := sp.Length() * float64(i) / 50
+		k := sp.CurvatureAt(s)
+		if math.Abs(k-1/r) > 0.15/r {
+			t.Fatalf("curvature at s=%.1f is %.5f, want ~%.5f", s, k, 1/r)
+		}
+	}
+	// Points lie on the circle.
+	for i := 0; i < 50; i++ {
+		s := sp.Length() * float64(i) / 50
+		if d := math.Abs(sp.PointAt(s).Norm() - r); d > 0.05 {
+			t.Fatalf("point at s=%.1f is %.3f m off the circle", s, d)
+		}
+	}
+}
+
+func TestSplineHeadingTangency(t *testing.T) {
+	const r = 15.0
+	sp, err := NewSpline(circleControls(r, 24), SplineOpts{Spacing: 0.2, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a CCW circle the tangent is perpendicular to the radius, rotated +90°.
+	for i := 0; i < 40; i++ {
+		s := sp.Length() * float64(i) / 40
+		p := sp.PointAt(s)
+		want := p.Unit().Perp().Angle()
+		got := sp.HeadingAt(s)
+		if math.Abs(AngleDiff(got, want)) > 0.05 {
+			t.Fatalf("heading at s=%.1f: got %.3f want %.3f", s, got, want)
+		}
+	}
+}
+
+func TestSplineStraightLineZeroCurvature(t *testing.T) {
+	sp, err := NewSpline([]Vec2{{0, 0}, {10, 0}, {20, 0}, {30, 0}}, SplineOpts{Spacing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 20; i++ {
+		s := sp.Length() * float64(i) / 20
+		if k := math.Abs(sp.CurvatureAt(s)); k > 1e-6 {
+			t.Fatalf("straight spline curvature at s=%.1f = %g", s, k)
+		}
+	}
+	approx(t, sp.Length(), 30, 0.01, "straight length")
+}
+
+func TestSplineProjectProperty(t *testing.T) {
+	sp, err := NewSpline(circleControls(25, 20), SplineOpts{Spacing: 0.25, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(frac, off float64) bool {
+		if math.IsNaN(frac) || math.IsNaN(off) || math.IsInf(frac, 0) || math.IsInf(off, 0) {
+			return true
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		off = math.Mod(off, 3) // offsets well inside the circle radius
+		s := frac * sp.Length()
+		// Displace a path point laterally; projection must recover the offset.
+		p := sp.PointAt(s)
+		n := V(math.Cos(sp.HeadingAt(s)), math.Sin(sp.HeadingAt(s))).Perp()
+		q := p.Add(n.Scale(off))
+		_, lat := sp.Project(q)
+		return math.Abs(lat-off) < 0.08
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplineControlPointsCopied(t *testing.T) {
+	ctrl := []Vec2{{0, 0}, {1, 0}, {2, 1}}
+	sp, err := NewSpline(ctrl, SplineOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sp.ControlPoints()
+	got[0] = V(99, 99)
+	if sp.ControlPoints()[0] == V(99, 99) {
+		t.Error("ControlPoints must return a copy")
+	}
+}

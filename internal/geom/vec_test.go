@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestVecBasicAlgebra(t *testing.T) {
+	a := V(3, 4)
+	b := V(-1, 2)
+	if got := a.Add(b); got != V(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	approx(t, a.Dot(b), 5, eps, "Dot")
+	approx(t, a.Cross(b), 10, eps, "Cross")
+	approx(t, a.Norm(), 5, eps, "Norm")
+	approx(t, a.NormSq(), 25, eps, "NormSq")
+	approx(t, a.Dist(b), math.Hypot(4, 2), eps, "Dist")
+}
+
+func TestVecUnitZeroSafe(t *testing.T) {
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+	u := V(3, 4).Unit()
+	approx(t, u.Norm(), 1, eps, "unit norm")
+}
+
+func TestVecRotate(t *testing.T) {
+	v := V(1, 0)
+	r := v.Rotate(math.Pi / 2)
+	approx(t, r.X, 0, eps, "rotate x")
+	approx(t, r.Y, 1, eps, "rotate y")
+	if got := v.Perp(); got != V(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, -10)
+	if got := a.Lerp(b, 0.5); got != V(5, -5) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, v := range []Vec2{{math.NaN(), 0}, {0, math.Inf(1)}, {math.Inf(-1), math.NaN()}} {
+		if v.IsFinite() {
+			t.Errorf("%v reported finite", v)
+		}
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi}, // boundary maps to +π
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		approx(t, NormalizeAngle(c.in), c.want, eps, "NormalizeAngle")
+	}
+	if !math.IsNaN(NormalizeAngle(math.NaN())) {
+		t.Error("NaN should pass through")
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true // skip pathological magnitudes where mod loses precision
+		}
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi {
+			return false
+		}
+		// Same direction: unit vectors must agree.
+		d := V(math.Cos(a), math.Sin(a)).Dist(V(math.Cos(n), math.Sin(n)))
+		return d < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	approx(t, AngleDiff(0.1, -0.1), 0.2, eps, "small diff")
+	// Wraparound: from +175° to -175° is +10°.
+	approx(t, AngleDiff(Deg(-175), Deg(175)), Deg(10), 1e-9, "wrap diff")
+	approx(t, AngleDiff(Deg(175), Deg(-175)), Deg(-10), 1e-9, "wrap diff rev")
+}
+
+func TestAngleLerp(t *testing.T) {
+	got := AngleLerp(Deg(170), Deg(-170), 0.5)
+	approx(t, got, math.Pi, 1e-9, "lerp across the cut")
+}
+
+func TestPoseTransforms(t *testing.T) {
+	p := NewPose(1, 2, math.Pi/2)
+	// World point one unit ahead of pose is (1,3).
+	body := p.TransformTo(V(1, 3))
+	approx(t, body.X, 1, eps, "body x")
+	approx(t, body.Y, 0, eps, "body y")
+	back := p.TransformFrom(body)
+	approx(t, back.X, 1, eps, "roundtrip x")
+	approx(t, back.Y, 3, eps, "roundtrip y")
+}
+
+func TestPoseTransformRoundtripProperty(t *testing.T) {
+	f := func(px, py, h, qx, qy float64) bool {
+		for _, v := range []float64{px, py, h, qx, qy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		p := NewPose(px, py, h)
+		q := V(qx, qy)
+		r := p.TransformFrom(p.TransformTo(q))
+		return r.Dist(q) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoseDirections(t *testing.T) {
+	p := NewPose(0, 0, 0)
+	if p.Forward().Dist(V(1, 0)) > eps {
+		t.Error("forward at heading 0")
+	}
+	if p.Left().Dist(V(0, 1)) > eps {
+		t.Error("left at heading 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	approx(t, Clamp(5, 0, 1), 1, 0, "above")
+	approx(t, Clamp(-5, 0, 1), 0, 0, "below")
+	approx(t, Clamp(0.5, 0, 1), 0.5, 0, "inside")
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with inverted bounds should panic")
+		}
+	}()
+	Clamp(0, 1, -1)
+}
+
+func TestDegConversions(t *testing.T) {
+	approx(t, Deg(180), math.Pi, eps, "Deg")
+	approx(t, ToDeg(math.Pi), 180, eps, "ToDeg")
+}

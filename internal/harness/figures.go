@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"adassure/internal/attacks"
+	"adassure/internal/core"
+	"adassure/internal/metrics"
+	"adassure/internal/sim"
+)
+
+// Figure1CrossTrackSeries regenerates F1: the true and believed cross-track
+// error over time under a gradual drift spoof, with the detection instant
+// marked — the headline "silent failure" figure.
+func Figure1CrossTrackSeries(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	res, mon, err := campaignRun(o, tr, attacks.ClassDriftSpoof, o.Controller, 1, sim.GuardConfig{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F1",
+		Title:   "Cross-track error vs time under gradual drift spoof (series)",
+		Columns: []string{"t (s)", "true CTE (m)", "believed CTE (m)"},
+	}
+	trueS := res.Trace.Downsample("cte_true", 20) // 1 Hz
+	for _, s := range trueS {
+		believed, _ := res.Trace.At("cte_est", s.T)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", s.T),
+			fmt.Sprintf("%+.2f", s.Value),
+			fmt.Sprintf("%+.2f", believed),
+		})
+	}
+	if v, ok := mon.FirstViolationAfter(attackOnset); ok {
+		t.Notes = append(t.Notes, fmt.Sprintf("attack onset t=%.0f s; first violation %s at t=%.2f s", attackOnset, v.AssertionID, v.T))
+	}
+	t.Notes = append(t.Notes, "expected shape: believed CTE stays near zero while true CTE ramps — the drift is invisible to the controller's own error signal")
+	return t, nil
+}
+
+// Figure2Trajectory regenerates F2: true vs believed vs GNSS-reported
+// trajectory under a step spoof on the figure-eight.
+func Figure2Trajectory(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := campaignRun(o, tr, attacks.ClassStepSpoof, o.Controller, 1, sim.GuardConfig{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F2",
+		Title:   "Trajectory under step spoof: truth vs estimate vs delivered GNSS",
+		Columns: []string{"t (s)", "true x", "true y", "est x", "est y", "gnss x", "gnss y"},
+		Notes:   []string{"expected shape: at onset the GNSS/estimate tracks jump off the true track; the controller then drags the true track off the route"},
+	}
+	for _, s := range res.Trace.Downsample("true_x", 20) {
+		ty, _ := res.Trace.At("true_y", s.T)
+		ex, _ := res.Trace.At("est_x", s.T)
+		ey, _ := res.Trace.At("est_y", s.T)
+		gx, _ := res.Trace.At("gnss_x", s.T)
+		gy, _ := res.Trace.At("gnss_y", s.T)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", s.T),
+			fmt.Sprintf("%.2f", s.Value), fmt.Sprintf("%.2f", ty),
+			fmt.Sprintf("%.2f", ex), fmt.Sprintf("%.2f", ey),
+			fmt.Sprintf("%.2f", gx), fmt.Sprintf("%.2f", gy),
+		})
+	}
+	return t, nil
+}
+
+// Figure3LatencyCDF regenerates F3: the CDF of detection latency across
+// seeds for a fast attack (step) and a slow one (drift).
+func Figure3LatencyCDF(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	seeds := o.Seeds
+	if !o.Quick && seeds < 10 {
+		seeds = 10
+	}
+	collect := func(class attacks.Class) ([]float64, error) {
+		var lats []float64
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			if d := metrics.Detect(mon.Violations(), attackOnset); d.Detected {
+				lats = append(lats, d.Latency)
+			}
+		}
+		return lats, nil
+	}
+	step, err := collect(attacks.ClassStepSpoof)
+	if err != nil {
+		return nil, err
+	}
+	drift, err := collect(attacks.ClassDriftSpoof)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F3",
+		Title:   "Detection-latency CDF (step vs drift spoof)",
+		Columns: []string{"attack", "latency (s)", "CDF"},
+		Notes:   []string{fmt.Sprintf("%d seeds per class; expected shape: the step CDF saturates within a fraction of a second, drift only after several seconds", seeds)},
+	}
+	for _, pair := range []struct {
+		name string
+		lats []float64
+	}{{"step-spoof", step}, {"drift-spoof", drift}} {
+		for _, p := range metrics.CDF(pair.lats) {
+			t.Rows = append(t.Rows, []string{
+				pair.name, fmt.Sprintf("%.2f", p.Value), fmt.Sprintf("%.2f", p.Fraction),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Figure4MonitorOverhead regenerates F4: wall-clock cost of the assertion
+// monitor per control frame as the catalog grows, measured directly on a
+// synthetic frame stream.
+func Figure4MonitorOverhead(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:      "F4",
+		Title:   "Runtime overhead of assertion monitoring per control frame",
+		Columns: []string{"assertions", "ns/frame"},
+		Notes: []string{
+			"synthetic nominal frame stream; a 20 Hz control period is 50 ms — expected shape: full catalog costs a vanishing fraction of the budget",
+		},
+	}
+	frames := 20000
+	if o.Quick {
+		frames = 5000
+	}
+	mkFrame := func(i int) core.Frame {
+		f := core.Frame{
+			T: float64(i) * 0.05, Dt: 0.05,
+			EstSpeed: 5, GNSSValid: true, GNSSAge: 0.02,
+			GNSSSpeed: 5, OdomSpeed: 5, NIS: 1, NISFresh: true,
+			Progress: float64(i) * 0.25, TrueSpeed: 5,
+		}
+		f.EstX = float64(i) * 0.25
+		f.GNSSX = f.EstX
+		return f
+	}
+	for _, n := range []int{0, 4, 8, 13} {
+		entries := core.NewCatalog(core.CatalogConfig{IncludeGroundTruth: true})
+		mon := core.NewMonitor()
+		for i := 0; i < n && i < len(entries); i++ {
+			mon.Add(entries[i].Assertion, entries[i].Debounce)
+		}
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			mon.Step(mkFrame(i))
+		}
+		perFrame := time.Since(start).Nanoseconds() / int64(frames)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", perFrame)})
+	}
+	return t, nil
+}
+
+// Figure5ThresholdAblation regenerates F5: sweeping the catalog threshold
+// scale trades detection latency against pre-onset false positives.
+func Figure5ThresholdAblation(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F5",
+		Title:   "Threshold-scale ablation: FP/run vs drift detection latency",
+		Columns: []string{"threshold scale", "FP/run (clean)", "drift latency (s)", "drift detected"},
+		Notes:   []string{"scale multiplies every catalog threshold; expected shape: tighter thresholds detect sooner but alarm on nominal runs"},
+	}
+	for _, scale := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+		var fp int
+		var ds []metrics.Detection
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			// Clean run for FP measurement.
+			mon := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: scale, IncludeGroundTruth: true})
+			if _, err := sim.Run(sim.Config{
+				Track: tr, Controller: o.Controller, Seed: seed,
+				Duration: o.duration(), Monitor: mon, DisableTrace: true,
+			}); err != nil {
+				return nil, err
+			}
+			fp += len(mon.Violations())
+
+			// Drift run for latency.
+			camp, err := attacks.Standard(attacks.ClassDriftSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
+			if err != nil {
+				return nil, err
+			}
+			mon2 := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: scale, IncludeGroundTruth: true})
+			if _, err := sim.Run(sim.Config{
+				Track: tr, Controller: o.Controller, Seed: seed,
+				Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
+			}); err != nil {
+				return nil, err
+			}
+			ds = append(ds, metrics.Detect(mon2.Violations(), attackOnset))
+		}
+		r := metrics.Aggregate(ds)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", scale),
+			fmt.Sprintf("%.2f", float64(fp)/float64(o.Seeds)),
+			fmt.Sprintf("%.2f", r.MeanLatency),
+			fmt.Sprintf("%d/%d", r.Detected, r.Runs),
+		})
+	}
+	return t, nil
+}
+
+// Figure6DebounceAblation regenerates F6: sweeping the k-of-n debounce
+// window trades noise-attack false structure against detection latency.
+func Figure6DebounceAblation(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F6",
+		Title:   "Debounce-window ablation (uniform k-of-n override)",
+		Columns: []string{"debounce", "FP/run (clean)", "step latency (s)", "step detected"},
+		Notes:   []string{"expected shape: longer windows suppress residual false alarms at the cost of detection latency growing with N"},
+	}
+	for _, deb := range []core.Debounce{{K: 1, N: 1}, {K: 2, N: 3}, {K: 4, N: 5}, {K: 6, N: 8}} {
+		var fp int
+		var ds []metrics.Detection
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			mon := core.NewCatalogMonitor(core.CatalogConfig{Debounce: deb, IncludeGroundTruth: true})
+			if _, err := sim.Run(sim.Config{
+				Track: tr, Controller: o.Controller, Seed: seed,
+				Duration: o.duration(), Monitor: mon, DisableTrace: true,
+			}); err != nil {
+				return nil, err
+			}
+			fp += len(mon.Violations())
+
+			camp, err := attacks.Standard(attacks.ClassStepSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
+			if err != nil {
+				return nil, err
+			}
+			mon2 := core.NewCatalogMonitor(core.CatalogConfig{Debounce: deb, IncludeGroundTruth: true})
+			if _, err := sim.Run(sim.Config{
+				Track: tr, Controller: o.Controller, Seed: seed,
+				Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
+			}); err != nil {
+				return nil, err
+			}
+			ds = append(ds, metrics.Detect(mon2.Violations(), attackOnset))
+		}
+		r := metrics.Aggregate(ds)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-of-%d", deb.K, deb.N),
+			fmt.Sprintf("%.2f", float64(fp)/float64(o.Seeds)),
+			fmt.Sprintf("%.2f", r.MeanLatency),
+			fmt.Sprintf("%d/%d", r.Detected, r.Runs),
+		})
+	}
+	return t, nil
+}

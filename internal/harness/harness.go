@@ -1,0 +1,178 @@
+// Package harness defines and runs the reproduction experiments: every
+// table (T1–T6) and figure (F1–F6) in the evaluation, each regenerated as a
+// renderable Table from fresh simulation runs. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for expected-vs-measured records.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"adassure/internal/attacks"
+	"adassure/internal/core"
+	"adassure/internal/sim"
+	"adassure/internal/track"
+	"adassure/internal/vehicle"
+)
+
+// Table is a rendered experiment result: an identifier, column headers and
+// string rows, plus free-form notes (assumptions, units).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seeds is the number of random seeds per configuration (default 3).
+	Seeds int
+	// Quick shortens run durations for smoke testing and benchmarks.
+	Quick bool
+	// Controller is the default lateral controller (default "pure-pursuit").
+	Controller string
+}
+
+func (o *Options) defaults() {
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if o.Controller == "" {
+		o.Controller = "pure-pursuit"
+	}
+}
+
+// standard run geometry shared by the experiments.
+const (
+	attackOnset = 20.0
+	attackEnd   = 50.0
+)
+
+func (o Options) duration() float64 {
+	if o.Quick {
+		return 55
+	}
+	return 70
+}
+
+// campaignRun executes one attacked (or clean) run with a fresh catalog
+// monitor and returns the result plus monitor.
+func campaignRun(o Options, tr *track.Track, class attacks.Class, controller string, seed int64, guard sim.GuardConfig) (*sim.Result, *core.Monitor, error) {
+	camp, err := attacks.Standard(class, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+	res, err := sim.Run(sim.Config{
+		Track:        tr,
+		Controller:   controller,
+		Vehicle:      vehicle.ShuttleParams(),
+		Seed:         seed,
+		Duration:     o.duration(),
+		Campaign:     camp,
+		Monitor:      mon,
+		Guard:        guard,
+		DisableTrace: false,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, mon, nil
+}
+
+// urbanTrack builds the workhorse scenario route.
+func urbanTrack() (*track.Track, error) { return track.UrbanLoop(6) }
+
+// Experiment couples an ID with its generator, for the registry consumed by
+// the CLI and the benches.
+type Experiment struct {
+	ID  string
+	Run func(Options) (*Table, error)
+}
+
+// All returns the experiment registry in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", Table1DetectionMatrix},
+		{"T2", Table2DetectionLatency},
+		{"T3", Table3DetectionRates},
+		{"T4", Table4DiagnosisAccuracy},
+		{"T5", Table5ControllerComparison},
+		{"T6", Table6DebugLoop},
+		{"F1", Figure1CrossTrackSeries},
+		{"F2", Figure2Trajectory},
+		{"F3", Figure3LatencyCDF},
+		{"F4", Figure4MonitorOverhead},
+		{"F5", Figure5ThresholdAblation},
+		{"F6", Figure6DebounceAblation},
+		{"X1", ExtensionX1GuardAblation},
+		{"X2", ExtensionX2DriftRateSweep},
+		{"X3", ExtensionX3StepMagnitudeSweep},
+		{"X4", ExtensionX4AssertionUtility},
+		{"X5", ExtensionX5FusionAblation},
+	}
+}
+
+// ByID returns one experiment from the registry.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}

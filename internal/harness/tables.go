@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"adassure/internal/attacks"
+	"adassure/internal/diagnosis"
+	"adassure/internal/metrics"
+	"adassure/internal/sim"
+)
+
+// Table1DetectionMatrix regenerates T1: which assertions fire for which
+// attack class (✓ when the assertion fired post-onset in a majority of
+// seeds). This is the paper-style assertion-coverage matrix.
+func Table1DetectionMatrix(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	ids := []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14"}
+	t := &Table{
+		ID:      "T1",
+		Title:   "Detection matrix: assertion × attack class (majority of seeds, post-onset)",
+		Columns: append([]string{"attack"}, ids...),
+		Notes: []string{
+			fmt.Sprintf("urban-loop, %s controller, %d seeds, attack window [%g, %g) s", o.Controller, o.Seeds, attackOnset, attackEnd),
+			"A12 is the offline ground-truth safety envelope (simulation only)",
+		},
+	}
+	for _, class := range attacks.StandardClasses() {
+		hits := map[string]int{}
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			seen := map[string]bool{}
+			for _, v := range mon.Violations() {
+				if v.T >= attackOnset && !seen[v.AssertionID] {
+					seen[v.AssertionID] = true
+					hits[v.AssertionID]++
+				}
+			}
+		}
+		row := []string{string(class)}
+		for _, id := range ids {
+			cell := "."
+			if hits[id]*2 > o.Seeds {
+				cell = "X"
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table2DetectionLatency regenerates T2: per attack class, the first-firing
+// assertion and the detection latency statistics across seeds.
+func Table2DetectionLatency(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "T2",
+		Title:   "Detection latency per attack class",
+		Columns: []string{"attack", "first assertion", "mean latency (s)", "median (s)", "p90 (s)", "detected"},
+		Notes: []string{
+			"latency = first post-onset violation time − onset",
+			"expected ordering: step/replay ≪ freeze/delay/dropout < drift",
+		},
+	}
+	for _, class := range attacks.StandardClasses() {
+		var ds []metrics.Detection
+		firstBy := map[string]int{}
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			d := metrics.Detect(mon.Violations(), attackOnset)
+			ds = append(ds, d)
+			if d.Detected {
+				firstBy[d.ByID]++
+			}
+		}
+		r := metrics.Aggregate(ds)
+		best, bestN := "-", 0
+		for id, n := range firstBy {
+			if n > bestN || (n == bestN && id < best) {
+				best, bestN = id, n
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			string(class), best,
+			fmt.Sprintf("%.2f", r.MeanLatency),
+			fmt.Sprintf("%.2f", r.MedianLatency),
+			fmt.Sprintf("%.2f", r.P90Latency),
+			fmt.Sprintf("%d/%d", r.Detected, r.Runs),
+		})
+	}
+	return t, nil
+}
+
+// Table3DetectionRates regenerates T3: detection rate and false-positive
+// rate across randomized runs, plus clean-run false alarms.
+func Table3DetectionRates(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "T3",
+		Title:   "Detection and false-positive rates",
+		Columns: []string{"attack", "runs", "detection rate", "FP/run (pre-onset)"},
+		Notes:   []string{"clean row: all violations count as false positives"},
+	}
+	seeds := o.Seeds
+	if !o.Quick && seeds < 5 {
+		seeds = 5
+	}
+	classes := append([]attacks.Class{attacks.ClassNone}, attacks.StandardClasses()...)
+	for _, class := range classes {
+		var ds []metrics.Detection
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			onset := attackOnset
+			if class == attacks.ClassNone {
+				onset = -1
+			}
+			ds = append(ds, metrics.Detect(mon.Violations(), onset))
+		}
+		r := metrics.Aggregate(ds)
+		rate := fmt.Sprintf("%.0f%%", r.DetectionRate*100)
+		if class == attacks.ClassNone {
+			rate = "n/a"
+		}
+		t.Rows = append(t.Rows, []string{
+			string(class), fmt.Sprintf("%d", r.Runs), rate, fmt.Sprintf("%.2f", r.FPPerRun),
+		})
+	}
+	return t, nil
+}
+
+// Table4DiagnosisAccuracy regenerates T4: top-1/top-2 root-cause accuracy
+// per attack class, with the most common misdiagnosis.
+func Table4DiagnosisAccuracy(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "T4",
+		Title:   "Root-cause diagnosis accuracy",
+		Columns: []string{"attack", "top-1", "top-2", "most common top-1"},
+	}
+	var overall1, overall2, total int
+	for _, class := range attacks.StandardClasses() {
+		top1, top2 := 0, 0
+		preds := map[string]int{}
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			hyps := diagnosis.Diagnose(mon.Violations())
+			preds[string(hyps[0].Cause)]++
+			if string(hyps[0].Cause) == string(class) {
+				top1++
+				top2++
+			} else if len(hyps) > 1 && string(hyps[1].Cause) == string(class) {
+				top2++
+			}
+			total++
+		}
+		overall1 += top1
+		overall2 += top2
+		common, commonN := "-", 0
+		var keys []string
+		for k := range preds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if preds[k] > commonN {
+				common, commonN = k, preds[k]
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			string(class),
+			fmt.Sprintf("%d/%d", top1, o.Seeds),
+			fmt.Sprintf("%d/%d", top2, o.Seeds),
+			common,
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"overall",
+		fmt.Sprintf("%.0f%%", 100*float64(overall1)/float64(total)),
+		fmt.Sprintf("%.0f%%", 100*float64(overall2)/float64(total)),
+		"",
+	})
+	return t, nil
+}
+
+// Table5ControllerComparison regenerates T5: tracking quality and attack
+// vulnerability per lateral controller.
+func Table5ControllerComparison(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "T5",
+		Title: "Controller comparison: clean tracking vs attack-induced deviation (max |true CTE|, m)",
+		Columns: []string{
+			"controller", "clean", "drift-spoof", "step-spoof", "violations (clean)",
+		},
+		Notes: []string{"per-controller weakness signatures appear in the clean-violations column and in the relative attack deviations"},
+	}
+	for _, ctrl := range []string{"pure-pursuit", "stanley", "pid-lateral", "lqr-mpc"} {
+		cells := map[string]float64{}
+		var cleanViol int
+		for _, class := range []attacks.Class{attacks.ClassNone, attacks.ClassDriftSpoof, attacks.ClassStepSpoof} {
+			var worst float64
+			for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+				res, mon, err := campaignRun(o, tr, class, ctrl, seed, sim.GuardConfig{})
+				if err != nil {
+					return nil, err
+				}
+				if res.MaxTrueCTE > worst {
+					worst = res.MaxTrueCTE
+				}
+				if class == attacks.ClassNone {
+					cleanViol += len(mon.Violations())
+				}
+			}
+			cells[string(class)] = worst
+		}
+		t.Rows = append(t.Rows, []string{
+			ctrl,
+			fmt.Sprintf("%.2f", cells[string(attacks.ClassNone)]),
+			fmt.Sprintf("%.2f", cells[string(attacks.ClassDriftSpoof)]),
+			fmt.Sprintf("%.2f", cells[string(attacks.ClassStepSpoof)]),
+			fmt.Sprintf("%d", cleanViol),
+		})
+	}
+	return t, nil
+}
+
+// Table6DebugLoop regenerates T6: the methodology's payoff — max true CTE
+// and violation counts for the unguarded stack vs the assertion-guarded
+// stack, per attack class.
+func Table6DebugLoop(o Options) (*Table, error) {
+	o.defaults()
+	tr, err := urbanTrack()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "T6",
+		Title: "Debug loop: unguarded vs assertion-guarded stack (max |true CTE|, m)",
+		Columns: []string{
+			"attack", "unguarded", "guarded", "improvement", "fallback time (s)",
+		},
+		Notes: []string{
+			"guard = χ²-gated fusion + staleness trigger + assertion-triggered latched fallback with MRM stop",
+		},
+	}
+	for _, class := range []attacks.Class{
+		attacks.ClassStepSpoof, attacks.ClassDriftSpoof, attacks.ClassReplay,
+		attacks.ClassFreeze, attacks.ClassDropout, attacks.ClassMeander,
+	} {
+		var unguarded, guarded, fb float64
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			res, _, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
+			if err != nil {
+				return nil, err
+			}
+			unguarded += res.MaxTrueCTE
+			gres, _, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{Enabled: true, AssertionTrigger: true})
+			if err != nil {
+				return nil, err
+			}
+			guarded += gres.MaxTrueCTE
+			fb += gres.FallbackTime
+		}
+		n := float64(o.Seeds)
+		unguarded /= n
+		guarded /= n
+		fb /= n
+		improvement := "-"
+		if guarded > 0 {
+			improvement = fmt.Sprintf("%.1f×", unguarded/guarded)
+		}
+		t.Rows = append(t.Rows, []string{
+			string(class),
+			fmt.Sprintf("%.2f", unguarded),
+			fmt.Sprintf("%.2f", guarded),
+			improvement,
+			fmt.Sprintf("%.1f", fb),
+		})
+	}
+	return t, nil
+}

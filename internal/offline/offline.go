@@ -1,0 +1,161 @@
+// Package offline implements the record-once / debug-many half of the
+// ADAssure methodology: frame streams captured from a run (or, on a real
+// platform, from drive logs) are persisted, re-monitored under different
+// catalog configurations without re-simulating, and compared — the
+// workflow the original study applied to recorded shuttle drives.
+package offline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"adassure/internal/core"
+	"adassure/internal/diagnosis"
+)
+
+// Recording is a persisted frame stream with provenance metadata.
+type Recording struct {
+	// Meta describes where the frames came from.
+	Meta Meta `json:"meta"`
+	// Frames is the control-rate frame stream in time order.
+	Frames []core.Frame `json:"frames"`
+}
+
+// Meta is the recording provenance.
+type Meta struct {
+	Track      string  `json:"track"`
+	Controller string  `json:"controller"`
+	Attack     string  `json:"attack"`
+	Seed       int64   `json:"seed"`
+	Duration   float64 `json:"duration"`
+}
+
+// Validate checks the recording invariants (time-ordered, finite count).
+func (r *Recording) Validate() error {
+	if len(r.Frames) == 0 {
+		return fmt.Errorf("offline: recording has no frames")
+	}
+	for i := 1; i < len(r.Frames); i++ {
+		if r.Frames[i].T < r.Frames[i-1].T {
+			return fmt.Errorf("offline: frames out of order at index %d (%g after %g)",
+				i, r.Frames[i].T, r.Frames[i-1].T)
+		}
+	}
+	return nil
+}
+
+// Write persists the recording as JSON.
+func (r *Recording) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("offline: encode recording: %w", err)
+	}
+	return nil
+}
+
+// Read parses a recording previously written by Write.
+func Read(rd io.Reader) (*Recording, error) {
+	var r Recording
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("offline: decode recording: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Monitor replays the recording through a fresh monitor built from the
+// catalog configuration and returns the violation record — the offline
+// equivalent of an online run, bit-identical for the same frames.
+func (r *Recording) Monitor(cfg core.CatalogConfig) []core.Violation {
+	m := core.NewCatalogMonitor(cfg)
+	for _, f := range r.Frames {
+		m.Step(f)
+	}
+	return m.Violations()
+}
+
+// MonitorWith replays the recording through a caller-assembled monitor
+// (custom assertion sets). The monitor is reset first.
+func (r *Recording) MonitorWith(m *core.Monitor) []core.Violation {
+	m.Reset()
+	for _, f := range r.Frames {
+		m.Step(f)
+	}
+	return m.Violations()
+}
+
+// Diagnose runs the full offline pipeline: monitor + root-cause ranking.
+func (r *Recording) Diagnose(cfg core.CatalogConfig) []diagnosis.Hypothesis {
+	return diagnosis.Diagnose(r.Monitor(cfg))
+}
+
+// DiffEntry is one assertion's episode-count change between two
+// configurations.
+type DiffEntry struct {
+	AssertionID string
+	Before      int
+	After       int
+}
+
+// Diff re-monitors the recording under two configurations and reports the
+// per-assertion episode deltas, sorted by assertion ID — the tool for
+// answering "what does tightening this threshold change on this drive?"
+// without re-simulating.
+func (r *Recording) Diff(before, after core.CatalogConfig) []DiffEntry {
+	count := func(vs []core.Violation) map[string]int {
+		m := map[string]int{}
+		for _, v := range vs {
+			m[v.AssertionID]++
+		}
+		return m
+	}
+	b := count(r.Monitor(before))
+	a := count(r.Monitor(after))
+	ids := map[string]bool{}
+	for id := range b {
+		ids[id] = true
+	}
+	for id := range a {
+		ids[id] = true
+	}
+	var out []DiffEntry
+	for id := range ids {
+		if b[id] != a[id] {
+			out = append(out, DiffEntry{AssertionID: id, Before: b[id], After: a[id]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AssertionID < out[j].AssertionID })
+	return out
+}
+
+// Slice returns a sub-recording covering frames with T in [t0, t1].
+func (r *Recording) Slice(t0, t1 float64) (*Recording, error) {
+	if t1 <= t0 {
+		return nil, fmt.Errorf("offline: invalid slice [%g, %g]", t0, t1)
+	}
+	out := &Recording{Meta: r.Meta}
+	for _, f := range r.Frames {
+		if f.T >= t0 && f.T <= t1 {
+			out.Frames = append(out.Frames, f)
+		}
+	}
+	if len(out.Frames) == 0 {
+		return nil, fmt.Errorf("offline: slice [%g, %g] contains no frames", t0, t1)
+	}
+	return out, nil
+}
+
+// Duration returns the time span covered by the recording.
+func (r *Recording) Duration() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	return r.Frames[len(r.Frames)-1].T - r.Frames[0].T
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"adassure/internal/core"
+	"adassure/internal/sim"
+)
+
+// CompareInput bundles a before/after pair of runs of the same scenario —
+// the artifact of one iteration of the debug loop (e.g. unguarded vs
+// guarded stack, or two controller tunings).
+type CompareInput struct {
+	Title         string
+	BeforeLabel   string
+	AfterLabel    string
+	Before, After *sim.Result
+	BeforeViol    []core.Violation
+	AfterViol     []core.Violation
+	// AttackOnset for post-onset violation counting; negative = count all.
+	AttackOnset float64
+}
+
+// WriteCompare renders the before/after comparison as Markdown.
+func WriteCompare(w io.Writer, in CompareInput) error {
+	if in.Before == nil || in.After == nil {
+		return fmt.Errorf("report: compare needs both results")
+	}
+	if in.Title == "" {
+		in.Title = "ADAssure debug-loop comparison"
+	}
+	if in.BeforeLabel == "" {
+		in.BeforeLabel = "before"
+	}
+	if in.AfterLabel == "" {
+		in.AfterLabel = "after"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", in.Title)
+	fmt.Fprintf(&b, "| metric | %s | %s | change |\n|---|---|---|---|\n", in.BeforeLabel, in.AfterLabel)
+
+	row := func(name string, bv, av float64, unit string, lowerBetter bool) {
+		change := "-"
+		switch {
+		case bv == av:
+			change = "unchanged"
+		case av == 0 && bv != 0:
+			change = "eliminated"
+		case bv != 0:
+			f := av / bv
+			arrow := "worse"
+			if (av < bv) == lowerBetter {
+				arrow = "better"
+			}
+			change = fmt.Sprintf("%.2f× (%s)", f, arrow)
+		}
+		fmt.Fprintf(&b, "| %s | %.2f%s | %.2f%s | %s |\n", name, bv, unit, av, unit, change)
+	}
+	row("max |true CTE|", in.Before.MaxTrueCTE, in.After.MaxTrueCTE, " m", true)
+	row("RMS true CTE", in.Before.RMSTrueCTE, in.After.RMSTrueCTE, " m", true)
+	row("route progress", in.Before.ProgressTotal, in.After.ProgressTotal, " m", false)
+	row("fallback time", in.Before.FallbackTime, in.After.FallbackTime, " s", false)
+
+	countPost := func(vs []core.Violation) int {
+		if in.AttackOnset < 0 {
+			return len(vs)
+		}
+		n := 0
+		for _, v := range vs {
+			if v.T >= in.AttackOnset {
+				n++
+			}
+		}
+		return n
+	}
+	row("violation episodes", float64(countPost(in.BeforeViol)), float64(countPost(in.AfterViol)), "", true)
+	if in.Before.Diverged && !in.After.Diverged {
+		b.WriteString("\n**The before-run diverged; the after-run did not.**\n")
+	}
+
+	// Which assertions cleared, which remain.
+	set := func(vs []core.Violation) map[string]bool {
+		m := map[string]bool{}
+		for _, v := range vs {
+			if in.AttackOnset < 0 || v.T >= in.AttackOnset {
+				m[v.AssertionID] = true
+			}
+		}
+		return m
+	}
+	before, after := set(in.BeforeViol), set(in.AfterViol)
+	var cleared, remaining []string
+	for id := range before {
+		if !after[id] {
+			cleared = append(cleared, id)
+		}
+	}
+	for id := range after {
+		remaining = append(remaining, id)
+	}
+	sort.Strings(cleared)
+	sort.Strings(remaining)
+	if len(cleared) > 0 {
+		fmt.Fprintf(&b, "\ncleared assertions: %s\n", strings.Join(cleared, " "))
+	}
+	if len(remaining) > 0 {
+		fmt.Fprintf(&b, "\nstill firing: %s\n", strings.Join(remaining, " "))
+	} else {
+		b.WriteString("\nno assertions firing after the fix.\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,299 @@
+// Package sensors models the perception inputs of the control stack: GNSS
+// position fixes, IMU yaw-rate/heading, and wheel odometry. Each sensor has
+// a sample rate, delivery latency, and a noise model (white noise plus a
+// slowly-walking bias), all driven by a deterministic seeded RNG so every
+// simulation run is reproducible. These models substitute for the physical
+// GNSS/IMU/odometer units of the original study's shuttle; they expose the
+// same attack surface (position, heading and speed channels).
+package sensors
+
+import (
+	"math"
+	"math/rand"
+
+	"adassure/internal/geom"
+	"adassure/internal/vehicle"
+)
+
+// GNSSFix is one GNSS measurement as delivered to the fusion stack.
+type GNSSFix struct {
+	T      float64   // delivery time, s
+	Pos    geom.Vec2 // measured position, m
+	Course float64   // course over ground, rad (valid only when moving)
+	Speed  float64   // speed over ground, m/s
+	Valid  bool      // false models a dropout / no-fix epoch
+}
+
+// IMUReading is one inertial measurement.
+type IMUReading struct {
+	T       float64
+	YawRate float64 // rad/s
+	Accel   float64 // longitudinal acceleration, m/s²
+	Heading float64 // integrated/magnetic heading, rad
+	Valid   bool
+}
+
+// OdomReading is one wheel-odometry measurement.
+type OdomReading struct {
+	T     float64
+	Speed float64 // m/s
+	Valid bool
+}
+
+// sampler implements rate + latency bookkeeping shared by the sensors.
+type sampler struct {
+	period  float64
+	latency float64
+	nextDue float64
+}
+
+// due reports whether a new sample should be taken at time t and advances
+// the schedule. Multiple periods elapsed in one call yield a single sample
+// (the engine steps faster than any sensor, so this does not drop data).
+func (s *sampler) due(t float64) bool {
+	if t+1e-12 < s.nextDue {
+		return false
+	}
+	// Advance past t to keep phase without accumulating error. The epsilon
+	// in the due check means t may sit just below nextDue, in which case the
+	// floor would compute 0 periods; always advance at least one.
+	n := math.Floor((t-s.nextDue)/s.period) + 1
+	if n < 1 {
+		n = 1
+	}
+	s.nextDue += n * s.period
+	return true
+}
+
+// noise is white Gaussian noise plus a first-order random-walk bias,
+// the standard error model for consumer GNSS/IMU units.
+type noise struct {
+	rng      *rand.Rand
+	stddev   float64
+	bias     float64
+	biasWalk float64 // per-sample bias random-walk stddev
+	biasMax  float64
+}
+
+func (n *noise) next() float64 {
+	if n.biasWalk > 0 {
+		n.bias += n.rng.NormFloat64() * n.biasWalk
+		n.bias = geom.Clamp(n.bias, -n.biasMax, n.biasMax)
+	}
+	return n.bias + n.rng.NormFloat64()*n.stddev
+}
+
+// GNSSConfig parameterises a GNSS receiver model.
+type GNSSConfig struct {
+	Rate        float64 // Hz (default 10)
+	Latency     float64 // s (default 0.05)
+	PosStdDev   float64 // m, per-axis white noise (default 0.15)
+	PosBiasWalk float64 // m per sample bias walk (default 0.002)
+	PosBiasMax  float64 // m bias saturation (default 0.5)
+	SpeedStdDev float64 // m/s (default 0.05)
+}
+
+func (c *GNSSConfig) defaults() {
+	if c.Rate <= 0 {
+		c.Rate = 10
+	}
+	if c.Latency < 0 {
+		c.Latency = 0
+	} else if c.Latency == 0 {
+		c.Latency = 0.05
+	}
+	if c.PosStdDev <= 0 {
+		c.PosStdDev = 0.15
+	}
+	if c.PosBiasWalk <= 0 {
+		c.PosBiasWalk = 0.002
+	}
+	if c.PosBiasMax <= 0 {
+		c.PosBiasMax = 0.5
+	}
+	if c.SpeedStdDev <= 0 {
+		c.SpeedStdDev = 0.05
+	}
+}
+
+// GNSS is a GNSS receiver model. Not safe for concurrent use.
+type GNSS struct {
+	cfg     GNSSConfig
+	s       sampler
+	nx, ny  noise
+	nv      noise
+	pending []GNSSFix // latency queue, ordered by delivery time
+}
+
+// NewGNSS builds a GNSS model with the given seed.
+func NewGNSS(cfg GNSSConfig, seed int64) *GNSS {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	return &GNSS{
+		cfg: cfg,
+		s:   sampler{period: 1 / cfg.Rate, latency: cfg.Latency},
+		nx:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.PosStdDev, biasWalk: cfg.PosBiasWalk, biasMax: cfg.PosBiasMax},
+		ny:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.PosStdDev, biasWalk: cfg.PosBiasWalk, biasMax: cfg.PosBiasMax},
+		nv:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.SpeedStdDev},
+	}
+}
+
+// Rate returns the configured sample rate in Hz.
+func (g *GNSS) Rate() float64 { return g.cfg.Rate }
+
+// Poll observes the true state at time t. It returns any fixes whose
+// delivery latency has elapsed by t, in delivery order.
+func (g *GNSS) Poll(truth vehicle.State, t float64) []GNSSFix {
+	if g.s.due(t) {
+		fix := GNSSFix{
+			T:      t + g.s.latency,
+			Pos:    geom.V(truth.X+g.nx.next(), truth.Y+g.ny.next()),
+			Course: truth.Heading, // course follows heading in this no-slip substrate
+			Speed:  math.Max(0, truth.Speed+g.nv.next()),
+			Valid:  true,
+		}
+		g.pending = append(g.pending, fix)
+	}
+	return drainDue(&g.pending, t, func(f GNSSFix) float64 { return f.T })
+}
+
+// drainDue pops readings with delivery time ≤ t from the queue, which is
+// kept ordered by delivery time.
+func drainDue[T any](q *[]T, t float64, when func(T) float64) []T {
+	var out []T
+	i := 0
+	for ; i < len(*q) && when((*q)[i]) <= t+1e-12; i++ {
+		out = append(out, (*q)[i])
+	}
+	*q = (*q)[i:]
+	return out
+}
+
+// IMUConfig parameterises an IMU model.
+type IMUConfig struct {
+	Rate           float64 // Hz (default 100)
+	Latency        float64 // s (default 0.005)
+	YawRateStdDev  float64 // rad/s (default 0.01)
+	AccelStdDev    float64 // m/s² (default 0.05)
+	HeadingStdDev  float64 // rad (default 0.01)
+	HeadingBias    float64 // constant heading bias, rad (fault injection)
+	YawRateBias    float64 // constant yaw-rate bias, rad/s (fault injection)
+	HeadingDriftRW float64 // rad per sample heading bias walk (default 1e-5)
+}
+
+func (c *IMUConfig) defaults() {
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Latency == 0 {
+		c.Latency = 0.005
+	}
+	if c.YawRateStdDev <= 0 {
+		c.YawRateStdDev = 0.01
+	}
+	if c.AccelStdDev <= 0 {
+		c.AccelStdDev = 0.05
+	}
+	if c.HeadingStdDev <= 0 {
+		c.HeadingStdDev = 0.01
+	}
+	if c.HeadingDriftRW <= 0 {
+		c.HeadingDriftRW = 1e-5
+	}
+}
+
+// IMU is an inertial measurement unit model with an internally integrated
+// heading channel (gyro-integrated, with drift), as AV stacks commonly log.
+type IMU struct {
+	cfg     IMUConfig
+	s       sampler
+	nr      noise
+	na      noise
+	nh      noise
+	pending []IMUReading
+}
+
+// NewIMU builds an IMU model with the given seed.
+func NewIMU(cfg IMUConfig, seed int64) *IMU {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	return &IMU{
+		cfg: cfg,
+		s:   sampler{period: 1 / cfg.Rate, latency: cfg.Latency},
+		nr:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.YawRateStdDev, bias: cfg.YawRateBias},
+		na:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.AccelStdDev},
+		nh:  noise{rng: rand.New(rand.NewSource(rng.Int63())), stddev: cfg.HeadingStdDev, bias: cfg.HeadingBias, biasWalk: cfg.HeadingDriftRW, biasMax: 0.2},
+	}
+}
+
+// Rate returns the configured sample rate in Hz.
+func (m *IMU) Rate() float64 { return m.cfg.Rate }
+
+// Poll observes the true state at time t and returns readings due by t.
+func (m *IMU) Poll(truth vehicle.State, t float64) []IMUReading {
+	if m.s.due(t) {
+		r := IMUReading{
+			T:       t + m.s.latency,
+			YawRate: truth.YawRate + m.nr.next(),
+			Accel:   truth.Accel + m.na.next(),
+			Heading: geom.NormalizeAngle(truth.Heading + m.nh.next()),
+			Valid:   true,
+		}
+		m.pending = append(m.pending, r)
+	}
+	return drainDue(&m.pending, t, func(r IMUReading) float64 { return r.T })
+}
+
+// OdomConfig parameterises the wheel-odometry model.
+type OdomConfig struct {
+	Rate        float64 // Hz (default 50)
+	Latency     float64 // s (default 0.01)
+	SpeedStdDev float64 // m/s (default 0.02)
+	ScaleError  float64 // multiplicative error, e.g. 0.01 = +1% (fault injection)
+}
+
+func (c *OdomConfig) defaults() {
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Latency == 0 {
+		c.Latency = 0.01
+	}
+	if c.SpeedStdDev <= 0 {
+		c.SpeedStdDev = 0.02
+	}
+}
+
+// Odometer is a wheel-speed sensor model.
+type Odometer struct {
+	cfg     OdomConfig
+	s       sampler
+	nv      noise
+	pending []OdomReading
+}
+
+// NewOdometer builds an odometry model with the given seed.
+func NewOdometer(cfg OdomConfig, seed int64) *Odometer {
+	cfg.defaults()
+	return &Odometer{
+		cfg: cfg,
+		s:   sampler{period: 1 / cfg.Rate, latency: cfg.Latency},
+		nv:  noise{rng: rand.New(rand.NewSource(seed)), stddev: cfg.SpeedStdDev},
+	}
+}
+
+// Rate returns the configured sample rate in Hz.
+func (o *Odometer) Rate() float64 { return o.cfg.Rate }
+
+// Poll observes the true state at time t and returns readings due by t.
+func (o *Odometer) Poll(truth vehicle.State, t float64) []OdomReading {
+	if o.s.due(t) {
+		r := OdomReading{
+			T:     t + o.s.latency,
+			Speed: math.Max(0, truth.Speed*(1+o.cfg.ScaleError)+o.nv.next()),
+			Valid: true,
+		}
+		o.pending = append(o.pending, r)
+	}
+	return drainDue(&o.pending, t, func(r OdomReading) float64 { return r.T })
+}

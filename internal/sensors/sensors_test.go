@@ -1,0 +1,229 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adassure/internal/vehicle"
+)
+
+// pollAll steps a sensor through [0, dur) at engine rate 1/dt, collecting
+// all delivered readings.
+func pollGNSS(g *GNSS, truth vehicle.State, dur, dt float64) []GNSSFix {
+	var out []GNSSFix
+	for t := 0.0; t < dur; t += dt {
+		out = append(out, g.Poll(truth, t)...)
+	}
+	return out
+}
+
+func TestGNSSRate(t *testing.T) {
+	g := NewGNSS(GNSSConfig{Rate: 10}, 1)
+	fixes := pollGNSS(g, vehicle.State{X: 5, Y: -3}, 10, 0.01)
+	// 10 s at 10 Hz → ~100 fixes (±1 for boundary/latency effects).
+	if len(fixes) < 98 || len(fixes) > 101 {
+		t.Errorf("fix count = %d, want ~100", len(fixes))
+	}
+}
+
+func TestGNSSLatency(t *testing.T) {
+	g := NewGNSS(GNSSConfig{Rate: 10, Latency: 0.2}, 1)
+	truth := vehicle.State{}
+	// Sample taken at t=0 must not be delivered before t=0.2.
+	for ts := 0.0; ts < 0.19; ts += 0.01 {
+		if got := g.Poll(truth, ts); len(got) != 0 {
+			t.Fatalf("fix delivered at t=%.2f before latency elapsed", ts)
+		}
+	}
+	got := g.Poll(truth, 0.2)
+	if len(got) != 1 {
+		t.Fatalf("expected delivery at t=0.2, got %d fixes", len(got))
+	}
+	if math.Abs(got[0].T-0.2) > 1e-9 {
+		t.Errorf("delivery time = %g", got[0].T)
+	}
+}
+
+func TestGNSSNoiseStatistics(t *testing.T) {
+	g := NewGNSS(GNSSConfig{Rate: 100, Latency: 1e-9, PosStdDev: 0.2, PosBiasWalk: 1e-9, PosBiasMax: 1e-6}, 42)
+	truth := vehicle.State{X: 10, Y: 20}
+	fixes := pollGNSS(g, truth, 50, 0.005)
+	if len(fixes) < 1000 {
+		t.Fatalf("too few fixes: %d", len(fixes))
+	}
+	var sx, sxx float64
+	for _, f := range fixes {
+		e := f.Pos.X - truth.X
+		sx += e
+		sxx += e * e
+	}
+	n := float64(len(fixes))
+	mean := sx / n
+	std := math.Sqrt(sxx/n - mean*mean)
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("noise mean = %g, want ~0", mean)
+	}
+	if math.Abs(std-0.2) > 0.03 {
+		t.Errorf("noise std = %g, want ~0.2", std)
+	}
+}
+
+func TestGNSSBiasBounded(t *testing.T) {
+	g := NewGNSS(GNSSConfig{Rate: 100, Latency: 1e-9, PosStdDev: 1e-9, PosBiasWalk: 0.05, PosBiasMax: 0.5}, 7)
+	truth := vehicle.State{}
+	for _, f := range pollGNSS(g, truth, 60, 0.005) {
+		if math.Abs(f.Pos.X) > 0.5+1e-6 || math.Abs(f.Pos.Y) > 0.5+1e-6 {
+			t.Fatalf("bias escaped saturation: %v", f.Pos)
+		}
+	}
+}
+
+func TestGNSSDeterministicPerSeed(t *testing.T) {
+	mk := func() []GNSSFix {
+		return pollGNSS(NewGNSS(GNSSConfig{}, 99), vehicle.State{X: 1}, 2, 0.01)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fix %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := pollGNSS(NewGNSS(GNSSConfig{}, 100), vehicle.State{X: 1}, 2, 0.01)
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i].Pos != c[i].Pos {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestGNSSSpeedNonNegative(t *testing.T) {
+	g := NewGNSS(GNSSConfig{Rate: 100, Latency: 1e-9, SpeedStdDev: 1}, 3)
+	for _, f := range pollGNSS(g, vehicle.State{Speed: 0.1}, 20, 0.005) {
+		if f.Speed < 0 {
+			t.Fatalf("negative speed %g", f.Speed)
+		}
+	}
+}
+
+func TestIMURateAndHeading(t *testing.T) {
+	m := NewIMU(IMUConfig{Rate: 100, Latency: 1e-9}, 5)
+	truth := vehicle.State{Heading: 1.0, YawRate: 0.2}
+	var n int
+	var meanH float64
+	for ts := 0.0; ts < 5; ts += 0.002 {
+		for _, r := range m.Poll(truth, ts) {
+			n++
+			meanH += r.Heading
+			if !r.Valid {
+				t.Fatal("invalid reading from healthy IMU")
+			}
+		}
+	}
+	if n < 495 || n > 502 {
+		t.Errorf("reading count = %d, want ~500", n)
+	}
+	meanH /= float64(n)
+	if math.Abs(meanH-1.0) > 0.02 {
+		t.Errorf("mean heading = %g, want ~1.0", meanH)
+	}
+}
+
+func TestIMUBiasInjection(t *testing.T) {
+	m := NewIMU(IMUConfig{Rate: 100, Latency: 1e-9, YawRateBias: 0.1, YawRateStdDev: 1e-9}, 5)
+	truth := vehicle.State{YawRate: 0}
+	var got float64
+	var n int
+	for ts := 0.0; ts < 1; ts += 0.002 {
+		for _, r := range m.Poll(truth, ts) {
+			got += r.YawRate
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no readings")
+	}
+	if math.Abs(got/float64(n)-0.1) > 1e-6 {
+		t.Errorf("injected yaw bias not observed: mean=%g", got/float64(n))
+	}
+}
+
+func TestOdometerScaleError(t *testing.T) {
+	o := NewOdometer(OdomConfig{Rate: 50, Latency: 1e-9, SpeedStdDev: 1e-9, ScaleError: 0.05}, 1)
+	truth := vehicle.State{Speed: 10}
+	var got float64
+	var n int
+	for ts := 0.0; ts < 2; ts += 0.005 {
+		for _, r := range o.Poll(truth, ts) {
+			got += r.Speed
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no readings")
+	}
+	if math.Abs(got/float64(n)-10.5) > 0.01 {
+		t.Errorf("scale error not applied: mean=%g want 10.5", got/float64(n))
+	}
+}
+
+func TestOdometerNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, speed float64) bool {
+		if math.IsNaN(speed) || math.IsInf(speed, 0) {
+			return true
+		}
+		o := NewOdometer(OdomConfig{Rate: 50, Latency: 1e-9, SpeedStdDev: 0.5}, seed)
+		truth := vehicle.State{Speed: math.Abs(math.Mod(speed, 8))}
+		for ts := 0.0; ts < 1; ts += 0.01 {
+			for _, r := range o.Poll(truth, ts) {
+				if r.Speed < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerPhaseStability(t *testing.T) {
+	s := sampler{period: 0.1}
+	var fired int
+	for t0 := 0.0; t0 < 10; t0 += 0.013 { // engine rate not a multiple of sensor rate
+		if s.due(t0) {
+			fired++
+		}
+	}
+	if fired < 99 || fired > 101 {
+		t.Errorf("sampler fired %d times in 10 s at 10 Hz", fired)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := NewGNSS(GNSSConfig{}, 1)
+	if g.Rate() != 10 {
+		t.Errorf("default GNSS rate = %g", g.Rate())
+	}
+	m := NewIMU(IMUConfig{}, 1)
+	if m.Rate() != 100 {
+		t.Errorf("default IMU rate = %g", m.Rate())
+	}
+	o := NewOdometer(OdomConfig{}, 1)
+	if o.Rate() != 50 {
+		t.Errorf("default odometer rate = %g", o.Rate())
+	}
+}

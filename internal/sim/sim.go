@@ -1,0 +1,544 @@
+// Package sim is the deterministic closed-loop simulation engine: it wires
+// the vehicle plant, sensor models, attack campaign, fusion stack, planner,
+// controllers and the ADAssure monitor into a fixed-step run, producing a
+// signal trace and the monitor's violation record. It substitutes for the
+// original study's shuttle platform plus ROS recording infrastructure.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"adassure/internal/attacks"
+	"adassure/internal/control"
+	"adassure/internal/core"
+	"adassure/internal/fusion"
+	"adassure/internal/geom"
+	"adassure/internal/planner"
+	"adassure/internal/sensors"
+	"adassure/internal/trace"
+	"adassure/internal/track"
+	"adassure/internal/vehicle"
+)
+
+// GuardConfig is the defence configuration the debug-loop experiment
+// toggles: χ²-gated fusion with dead-reckoning fallback and a speed cap
+// while the GNSS channel is distrusted.
+type GuardConfig struct {
+	// Enabled turns the whole guard on.
+	Enabled bool
+	// GateThreshold is the fusion χ² gate (default fusion.DefaultGate).
+	GateThreshold float64
+	// FallbackAfter is the consecutive-reject count that switches
+	// localization to dead reckoning (default 3).
+	FallbackAfter int
+	// FallbackSpeed caps the target speed while in fallback (default 2 m/s).
+	FallbackSpeed float64
+	// StaleAfter is the GNSS silence (s) that also triggers fallback —
+	// covering dropout/delay attacks where no fix ever reaches the gate
+	// (default 1.2 s).
+	StaleAfter float64
+	// AssertionTrigger additionally enters fallback when the attached
+	// Monitor raises a critical online violation — the ADAssure
+	// assertion-driven recovery that covers slow drifts the χ² gate can
+	// never see. Requires Config.Monitor.
+	AssertionTrigger bool
+	// RecoverDist is how close (m) incoming fixes must be to the
+	// dead-reckoned position, twice in a row, to leave fallback and
+	// re-initialise fusion (default 5 m).
+	RecoverDist float64
+	// MRMAfter is how long (s) fallback may persist before the vehicle
+	// executes a minimum-risk manoeuvre and brakes to a stop (default 8 s).
+	MRMAfter float64
+	// LatchTime is how long (s) an assertion-triggered fallback is latched
+	// before recovery checks resume (default 20 s). A violation raised by
+	// the monitor means the measurement stream is actively hostile; unlike
+	// a gate rejection it cannot be "walked back" by measurements that
+	// merely agree with the already-dragged anchor.
+	LatchTime float64
+}
+
+func (g *GuardConfig) defaults() {
+	if g.GateThreshold <= 0 {
+		g.GateThreshold = fusion.DefaultGate
+	}
+	if g.FallbackAfter <= 0 {
+		g.FallbackAfter = 3
+	}
+	if g.FallbackSpeed <= 0 {
+		g.FallbackSpeed = 2
+	}
+	if g.StaleAfter <= 0 {
+		g.StaleAfter = 1.2
+	}
+	if g.RecoverDist <= 0 {
+		g.RecoverDist = 5
+	}
+	if g.MRMAfter <= 0 {
+		g.MRMAfter = 8
+	}
+	if g.LatchTime <= 0 {
+		g.LatchTime = 20
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Track is the route to drive. Required.
+	Track *track.Track
+	// Controller is the lateral controller name (control.ByName). Required.
+	Controller string
+	// Vehicle is the parameter set (default ShuttleParams).
+	Vehicle vehicle.Params
+	// UseDynamicModel selects the dynamic bicycle plant.
+	UseDynamicModel bool
+	// Localizer selects the fusion stack: "ekf" (default) or
+	// "complementary" (fixed-gain filter without innovation gating — the
+	// χ² guard triggers and assertion A10 are unavailable with it).
+	Localizer string
+	// Seed drives all stochastic components.
+	Seed int64
+	// Duration is the simulated time budget in seconds (default 60).
+	Duration float64
+	// ControlRate is the control/monitor frequency in Hz (default 20).
+	ControlRate float64
+	// EngineRate is the physics frequency in Hz (default 100).
+	EngineRate float64
+	// Campaign is the attack configuration (zero value = clean run).
+	Campaign attacks.Campaign
+	// Guard configures the defended stack.
+	Guard GuardConfig
+	// Monitor, when non-nil, receives one core.Frame per control step.
+	Monitor *core.Monitor
+	// RecordFrames additionally stores every monitor frame in the Result,
+	// enabling offline re-monitoring with different catalogs/thresholds
+	// without re-simulating (see internal/offline).
+	RecordFrames bool
+	// InitialSpeed at spawn (default 1 m/s).
+	InitialSpeed float64
+	// RecordTrace enables full signal recording (default true via Run; the
+	// benchmark harness disables it for overhead-free timing).
+	DisableTrace bool
+}
+
+func (c *Config) defaults() error {
+	if c.Track == nil {
+		return fmt.Errorf("sim: config requires a track")
+	}
+	if c.Controller == "" {
+		return fmt.Errorf("sim: config requires a controller name")
+	}
+	if c.Vehicle.Wheelbase == 0 {
+		c.Vehicle = vehicle.ShuttleParams()
+	}
+	if err := c.Vehicle.Validate(); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60
+	}
+	if c.ControlRate <= 0 {
+		c.ControlRate = 20
+	}
+	if c.EngineRate <= 0 {
+		c.EngineRate = 100
+	}
+	if c.EngineRate < c.ControlRate {
+		return fmt.Errorf("sim: engine rate %g Hz below control rate %g Hz", c.EngineRate, c.ControlRate)
+	}
+	if c.InitialSpeed <= 0 {
+		c.InitialSpeed = 1
+	}
+	switch c.Localizer {
+	case "":
+		c.Localizer = "ekf"
+	case "ekf", "complementary":
+	default:
+		return fmt.Errorf("sim: unknown localizer %q", c.Localizer)
+	}
+	c.Guard.defaults()
+	return nil
+}
+
+// Result summarises a run.
+type Result struct {
+	// Trace holds the recorded signals (nil when disabled).
+	Trace *trace.Trace
+	// Final is the vehicle's final ground-truth state.
+	Final vehicle.State
+	// SimTime is the simulated seconds actually run.
+	SimTime float64
+	// Steps is the number of control steps executed.
+	Steps int
+	// MaxTrueCTE and RMSTrueCTE summarise physical tracking quality.
+	MaxTrueCTE, RMSTrueCTE float64
+	// MaxEstCTE summarises believed tracking quality.
+	MaxEstCTE float64
+	// ProgressTotal is the route distance covered.
+	ProgressTotal float64
+	// Laps counts completed laps on closed tracks.
+	Laps int
+	// Finished reports open-route completion.
+	Finished bool
+	// Diverged is set when the vehicle left the 100 m corridor around the
+	// path and the run was aborted.
+	Diverged bool
+	// FallbackTime is the simulated time spent in dead-reckoning fallback.
+	FallbackTime float64
+	// Violations echoes the monitor's record (nil monitor → nil).
+	Violations []core.Violation
+	// Frames holds the recorded frame stream when RecordFrames was set.
+	Frames []core.Frame
+}
+
+// Run executes one simulation. It is deterministic in (Config, Seed).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	lateral, err := control.ByName(cfg.Controller, cfg.Vehicle)
+	if err != nil {
+		return nil, err
+	}
+	speedCtl := control.NewSpeedPID(cfg.Vehicle)
+	profile, err := planner.NewSpeedProfileForTrack(cfg.Track, cfg.Vehicle)
+	if err != nil {
+		return nil, err
+	}
+	progress, err := planner.NewProgress(cfg.Track.Path())
+	if err != nil {
+		return nil, err
+	}
+	follower, err := planner.NewFollower(cfg.Track.Path())
+	if err != nil {
+		return nil, err
+	}
+	truthFollower, err := planner.NewFollower(cfg.Track.Path())
+	if err != nil {
+		return nil, err
+	}
+
+	var model vehicle.Model
+	if cfg.UseDynamicModel {
+		model = vehicle.NewDynamic(cfg.Vehicle)
+	} else {
+		model = vehicle.NewKinematic(cfg.Vehicle)
+	}
+
+	gnss := sensors.NewGNSS(sensors.GNSSConfig{}, cfg.Seed*7+1)
+	imu := sensors.NewIMU(sensors.IMUConfig{}, cfg.Seed*7+2)
+	odom := sensors.NewOdometer(sensors.OdomConfig{}, cfg.Seed*7+3)
+
+	start := cfg.Track.StartPose()
+	truth := vehicle.State{X: start.Pos.X, Y: start.Pos.Y, Heading: start.Heading, Speed: cfg.InitialSpeed}
+
+	ekfCfg := fusion.EKFConfig{}
+	if cfg.Guard.Enabled {
+		ekfCfg.GateThreshold = cfg.Guard.GateThreshold
+	}
+	newLocalizer := func(t0 float64, pose geom.Pose, speed float64) fusion.Localizer {
+		if cfg.Localizer == "complementary" {
+			return fusion.NewComplementary(t0, pose, speed)
+		}
+		return fusion.NewEKF(ekfCfg, t0, pose, speed)
+	}
+	ekf := newLocalizer(0, start, cfg.InitialSpeed)
+	dr := fusion.NewDeadReckoner(0, start, cfg.InitialSpeed)
+
+	var tr *trace.Trace
+	if !cfg.DisableTrace {
+		tr = trace.New()
+	}
+
+	res := &Result{Trace: tr}
+	engineDT := 1 / cfg.EngineRate
+	controlEvery := int(math.Round(cfg.EngineRate / cfg.ControlRate))
+	controlDT := engineDT * float64(controlEvery)
+
+	// Derived-GNSS state: the receiver-style course/speed over ground are
+	// computed from the displacement across a ~1 s baseline of delivered
+	// fixes, which keeps the white position noise from dominating the
+	// derivative (a single-period baseline would have ~2 m/s of speed
+	// noise at 10 Hz).
+	const derivedBaseline = 1.0
+	var lastFix sensors.GNSSFix
+	lastFixAt := 0.0 // run start counts as fresh for the staleness trigger
+	type stampedFix struct {
+		t float64
+		p geom.Vec2
+	}
+	var fixHist []stampedFix
+	derivedCourse, derivedSpeed := start.Heading, cfg.InitialSpeed
+
+	var lastIMU sensors.IMUReading
+	lastIMUAt := math.Inf(-1)
+	var lastOdom sensors.OdomReading
+	lastOdomAt := math.Inf(-1)
+
+	cmd := vehicle.Command{}
+	inFallback := false
+	fallbackSince := 0.0
+	latchUntil := 0.0
+	recoveryCount := 0
+	seenViolations := 0
+	lastEKFUpdateAt := math.Inf(-1)
+	var sumSqTrueCTE float64
+	var cteSamples int
+
+	nSteps := int(math.Round(cfg.Duration / engineDT))
+	for step := 1; step <= nSteps; step++ {
+		t := float64(step) * engineDT
+
+		// Physics.
+		truth = model.Step(truth, cmd, engineDT)
+		res.SimTime = t
+
+		// Sensors → attacks → fusion.
+		for _, r := range imu.Poll(truth, t) {
+			if cfg.Campaign.IMU != nil {
+				var deliver bool
+				if r, deliver = cfg.Campaign.IMU.Apply(r, t); !deliver {
+					continue
+				}
+			}
+			ekf.PredictIMU(r)
+			dr.StepIMU(r)
+			lastIMU, lastIMUAt = r, t
+		}
+		for _, r := range odom.Poll(truth, t) {
+			if cfg.Campaign.Odom != nil {
+				var deliver bool
+				if r, deliver = cfg.Campaign.Odom.Apply(r, t); !deliver {
+					continue
+				}
+			}
+			ekf.UpdateOdom(r)
+			dr.ObserveOdom(r)
+			lastOdom, lastOdomAt = r, t
+		}
+		for _, fix := range gnss.Poll(truth, t) {
+			if cfg.Campaign.GNSS != nil {
+				var deliver bool
+				if fix, deliver = cfg.Campaign.GNSS.Apply(fix, t); !deliver {
+					continue
+				}
+			}
+			if inFallback {
+				// Quarantine: fixes are not fused while distrusted. Leave
+				// fallback only after the latch has expired and two
+				// consecutive fixes land near the dead-reckoned position,
+				// then re-seed the filter there.
+				if t < latchUntil {
+					continue
+				}
+				if fix.Pos.Dist(dr.Estimate().Pose.Pos) < cfg.Guard.RecoverDist {
+					recoveryCount++
+				} else {
+					recoveryCount = 0
+				}
+				if recoveryCount >= 2 {
+					e := dr.Estimate()
+					ekf = newLocalizer(t, e.Pose, e.Speed)
+					ekf.UpdateGNSS(fix)
+					lastEKFUpdateAt = t
+					inFallback = false
+					recoveryCount = 0
+				}
+			} else {
+				_, accepted := ekf.UpdateGNSS(fix)
+				lastEKFUpdateAt = t
+				if accepted && cfg.Guard.Enabled {
+					// Re-anchor the reckoner at every trusted fusion output.
+					e := ekf.Estimate()
+					dr.Reset(e.T, e.Pose, e.Speed)
+				}
+			}
+			// Receiver-derived course/speed over the smoothing baseline.
+			fixHist = append(fixHist, stampedFix{t: t, p: fix.Pos})
+			for len(fixHist) > 1 && t-fixHist[0].t > derivedBaseline+0.05 {
+				fixHist = fixHist[1:]
+			}
+			if oldest := fixHist[0]; t-oldest.t > derivedBaseline*0.5 {
+				d := fix.Pos.Sub(oldest.p)
+				derivedSpeed = d.Norm() / (t - oldest.t)
+				if derivedSpeed > 0.5 {
+					derivedCourse = d.Angle()
+				}
+			}
+			lastFix, lastFixAt = fix, t
+		}
+
+		// Control + monitoring at the control rate.
+		if step%controlEvery != 0 {
+			continue
+		}
+
+		// Guard entry triggers.
+		if cfg.Guard.Enabled {
+			assertionHit := false
+			if cfg.Guard.AssertionTrigger && cfg.Monitor != nil {
+				for _, v := range cfg.Monitor.Violations()[seenViolations:] {
+					// Only online critical assertions drive recovery; A12
+					// reads ground truth and exists for offline scoring.
+					if v.Severity == core.Critical && v.AssertionID != "A12" {
+						assertionHit = true
+					}
+				}
+			}
+			if assertionHit {
+				// New evidence of hostility (re-)latches the quarantine.
+				latchUntil = t + cfg.Guard.LatchTime
+			}
+			gateTrigger := ekf.RejectStreak() >= cfg.Guard.FallbackAfter ||
+				t-lastFixAt > cfg.Guard.StaleAfter
+			if !inFallback && (gateTrigger || assertionHit) {
+				inFallback = true
+				fallbackSince = t
+				recoveryCount = 0
+			}
+		}
+		if cfg.Monitor != nil {
+			seenViolations = len(cfg.Monitor.Violations())
+		}
+
+		est := ekf.Estimate()
+		if inFallback {
+			est = dr.Estimate()
+			res.FallbackTime += controlDT
+		}
+
+		s, cte := follower.Project(est.Pose.Pos)
+		headingErr := geom.AngleDiff(est.Pose.Heading, cfg.Track.Path().HeadingAt(s))
+		kappa := cfg.Track.Path().CurvatureAt(s)
+		prog := progress.Observe(s)
+		// Compensate the drivetrain/PID lag by also honouring the profile
+		// about half a second of travel ahead — otherwise the vehicle
+		// enters sharp corners ~1 m/s hot.
+		target := math.Min(profile.TargetAt(s), profile.TargetAt(s+est.Speed*0.6))
+		if inFallback {
+			if target > cfg.Guard.FallbackSpeed {
+				target = cfg.Guard.FallbackSpeed
+			}
+			if t-fallbackSince > cfg.Guard.MRMAfter {
+				target = 0 // minimum-risk manoeuvre: come to a stop
+			}
+		}
+
+		// The command interface contract: steering requests saturate at the
+		// actuator limit before they leave the controller node.
+		steer := geom.Clamp(lateral.Steer(est, cfg.Track.Path(), controlDT), -cfg.Vehicle.MaxSteer, cfg.Vehicle.MaxSteer)
+		accel := speedCtl.Accel(est.Speed, target, controlDT)
+		cmd = vehicle.Command{Steer: steer, Accel: accel}
+		if cfg.Campaign.Actuator != nil {
+			// Actuator faults corrupt the command *after* the controller
+			// (and after the monitor sees what was requested) — the plant
+			// executes the faulted command.
+			cmd = cfg.Campaign.Actuator.Apply(cmd, t)
+		}
+		res.Steps++
+
+		_, trueCTE := truthFollower.Project(geom.V(truth.X, truth.Y))
+		if a := math.Abs(trueCTE); a > res.MaxTrueCTE {
+			res.MaxTrueCTE = a
+		}
+		if a := math.Abs(cte); a > res.MaxEstCTE {
+			res.MaxEstCTE = a
+		}
+		sumSqTrueCTE += trueCTE * trueCTE
+		cteSamples++
+
+		nis, _ := ekf.LastNIS()
+		nisFresh := t-lastEKFUpdateAt <= controlDT && cfg.Localizer == "ekf"
+
+		// Curvature band the controller may legitimately be steering for:
+		// slightly behind the projection to one lookahead distance ahead.
+		curvLo, curvHi := kappa, kappa
+		for d := -2.0; d <= 12.0; d += 1.0 {
+			k := cfg.Track.Path().CurvatureAt(s + d)
+			if k < curvLo {
+				curvLo = k
+			}
+			if k > curvHi {
+				curvHi = k
+			}
+		}
+
+		if cfg.Monitor != nil || cfg.RecordFrames {
+			frame := core.Frame{
+				T: t, Dt: controlDT,
+				EstX: est.Pose.Pos.X, EstY: est.Pose.Pos.Y,
+				EstHeading: est.Pose.Heading, EstSpeed: est.Speed,
+				EstYawRate: est.YawRate, EstPosStdDev: est.PosStdDev,
+				GNSSX: lastFix.Pos.X, GNSSY: lastFix.Pos.Y,
+				GNSSSpeed: derivedSpeed, GNSSCourse: derivedCourse,
+				GNSSAge: t - lastFixAt, GNSSValid: lastFix.Valid,
+				IMUHeading: lastIMU.Heading, IMUYawRate: lastIMU.YawRate,
+				IMUAccel: lastIMU.Accel, IMUAge: t - lastIMUAt,
+				OdomSpeed: lastOdom.Speed, OdomAge: t - lastOdomAt,
+				CmdSteer: steer, CmdAccel: accel,
+				RefS: s, CTE: cte, HeadingErr: headingErr,
+				Curvature: kappa, TargetSpeed: target, Progress: prog,
+				CurvAheadMin: curvLo, CurvAheadMax: curvHi,
+				NIS: nis, NISFresh: nisFresh, RejectStreak: ekf.RejectStreak(),
+				TrueX: truth.X, TrueY: truth.Y, TrueHeading: truth.Heading,
+				TrueSpeed: truth.Speed, TrueCTE: trueCTE,
+			}
+			if cfg.Monitor != nil {
+				cfg.Monitor.Step(frame)
+			}
+			if cfg.RecordFrames {
+				res.Frames = append(res.Frames, frame)
+			}
+		}
+
+		if tr != nil {
+			tr.MustRecord("true_x", t, truth.X)
+			tr.MustRecord("true_y", t, truth.Y)
+			tr.MustRecord("est_x", t, est.Pose.Pos.X)
+			tr.MustRecord("est_y", t, est.Pose.Pos.Y)
+			tr.MustRecord("gnss_x", t, lastFix.Pos.X)
+			tr.MustRecord("gnss_y", t, lastFix.Pos.Y)
+			tr.MustRecord("cte_true", t, trueCTE)
+			tr.MustRecord("cte_est", t, cte)
+			tr.MustRecord("speed", t, truth.Speed)
+			tr.MustRecord("target_speed", t, target)
+			tr.MustRecord("steer", t, steer)
+			tr.MustRecord("accel_cmd", t, accel)
+			tr.MustRecord("nis", t, nis)
+			tr.MustRecord("heading_err", t, headingErr)
+			tr.MustRecord("est_heading", t, est.Pose.Heading)
+			tr.MustRecord("imu_heading", t, lastIMU.Heading)
+			tr.MustRecord("curvature", t, kappa)
+			tr.MustRecord("progress", t, prog)
+			tr.MustRecord("fallback", t, boolTo01(inFallback))
+		}
+
+		// Termination conditions.
+		if progress.Finished() {
+			res.Finished = true
+			break
+		}
+		if math.Abs(trueCTE) > 100 {
+			res.Diverged = true
+			break
+		}
+	}
+
+	res.Final = truth
+	res.ProgressTotal = progress.Total()
+	res.Laps = progress.Laps()
+	if cteSamples > 0 {
+		res.RMSTrueCTE = math.Sqrt(sumSqTrueCTE / float64(cteSamples))
+	}
+	if cfg.Monitor != nil {
+		res.Violations = cfg.Monitor.Violations()
+	}
+	return res, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+// Package trace records time-series of named signals produced by a
+// simulation run and exports them as CSV or JSON. It substitutes for the
+// ROS-bag recordings of the original study: every experiment's "figure" is
+// rendered from a trace.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Sample is one observation of one signal.
+type Sample struct {
+	T     float64 // simulation time, s
+	Value float64
+}
+
+// Trace accumulates samples for a set of named signals. It is not safe for
+// concurrent use; the simulation engine owns it for the duration of a run.
+type Trace struct {
+	signals map[string][]Sample
+	order   []string // insertion order of first appearance
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{signals: make(map[string][]Sample)}
+}
+
+// Record appends a sample for the named signal. Time must be non-decreasing
+// per signal; out-of-order samples are rejected with an error so recording
+// bugs surface immediately.
+func (tr *Trace) Record(signal string, t, value float64) error {
+	if signal == "" {
+		return fmt.Errorf("trace: empty signal name")
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("trace: non-finite time %g for signal %q", t, signal)
+	}
+	ss, ok := tr.signals[signal]
+	if !ok {
+		tr.order = append(tr.order, signal)
+	}
+	if n := len(ss); n > 0 && t < ss[n-1].T {
+		return fmt.Errorf("trace: time went backwards for %q: %g after %g", signal, t, ss[n-1].T)
+	}
+	tr.signals[signal] = append(ss, Sample{T: t, Value: value})
+	return nil
+}
+
+// MustRecord is Record for simulator-internal signals whose preconditions
+// are established by the engine; it panics on error.
+func (tr *Trace) MustRecord(signal string, t, value float64) {
+	if err := tr.Record(signal, t, value); err != nil {
+		panic(err)
+	}
+}
+
+// Signals returns the signal names in first-appearance order.
+func (tr *Trace) Signals() []string {
+	out := make([]string, len(tr.order))
+	copy(out, tr.order)
+	return out
+}
+
+// Samples returns the recorded samples for a signal (nil if absent). The
+// returned slice is owned by the trace; callers must not modify it.
+func (tr *Trace) Samples(signal string) []Sample { return tr.signals[signal] }
+
+// Len returns the number of samples recorded for a signal.
+func (tr *Trace) Len(signal string) int { return len(tr.signals[signal]) }
+
+// At returns the value of signal at time t using zero-order hold (the value
+// of the latest sample with T ≤ t). ok is false if the signal has no sample
+// at or before t.
+func (tr *Trace) At(signal string, t float64) (v float64, ok bool) {
+	ss := tr.signals[signal]
+	// First sample strictly after t.
+	i := sort.Search(len(ss), func(i int) bool { return ss[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return ss[i-1].Value, true
+}
+
+// Last returns the most recent sample of a signal.
+func (tr *Trace) Last(signal string) (Sample, bool) {
+	ss := tr.signals[signal]
+	if len(ss) == 0 {
+		return Sample{}, false
+	}
+	return ss[len(ss)-1], true
+}
+
+// Stats summarises a signal.
+type Stats struct {
+	Count          int
+	Min, Max, Mean float64
+	RMS            float64
+	AbsMax         float64
+}
+
+// SignalStats computes summary statistics for a signal. The zero Stats is
+// returned for an empty or missing signal.
+func (tr *Trace) SignalStats(signal string) Stats {
+	ss := tr.signals[signal]
+	if len(ss) == 0 {
+		return Stats{}
+	}
+	st := Stats{Count: len(ss), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, s := range ss {
+		v := s.Value
+		sum += v
+		sumSq += v * v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		if a := math.Abs(v); a > st.AbsMax {
+			st.AbsMax = a
+		}
+	}
+	st.Mean = sum / float64(len(ss))
+	st.RMS = math.Sqrt(sumSq / float64(len(ss)))
+	return st
+}
+
+// WindowStats computes statistics over samples with T in [t0, t1].
+func (tr *Trace) WindowStats(signal string, t0, t1 float64) Stats {
+	ss := tr.signals[signal]
+	sub := New()
+	for _, s := range ss {
+		if s.T >= t0 && s.T <= t1 {
+			sub.MustRecord(signal, s.T, s.Value)
+		}
+	}
+	return sub.SignalStats(signal)
+}
+
+// WriteCSV writes the trace as a wide CSV: a time column (the union of all
+// sample times) followed by one column per signal, zero-order-held. Cells
+// before a signal's first sample are empty.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	times := tr.unionTimes()
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, tr.Signals()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for i, sig := range tr.order {
+			if v, ok := tr.At(sig, t); ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (tr *Trace) unionTimes() []float64 {
+	seen := make(map[float64]struct{})
+	var times []float64
+	for _, ss := range tr.signals {
+		for _, s := range ss {
+			if _, ok := seen[s.T]; !ok {
+				seen[s.T] = struct{}{}
+				times = append(times, s.T)
+			}
+		}
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// jsonTrace is the serialised form.
+type jsonTrace struct {
+	Signals map[string][]Sample `json:"signals"`
+	Order   []string            `json:"order"`
+}
+
+// WriteJSON serialises the trace.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jsonTrace{Signals: tr.signals, Order: tr.order}); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	tr := New()
+	if jt.Signals == nil {
+		jt.Signals = map[string][]Sample{}
+	}
+	// Validate monotonicity on load so a corrupted file fails loudly.
+	for _, name := range jt.Order {
+		for _, s := range jt.Signals[name] {
+			if err := tr.Record(name, s.T, s.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tr, nil
+}
+
+// Downsample returns a copy of one signal's samples keeping roughly every
+// n-th sample (always including first and last), for compact figure output.
+func (tr *Trace) Downsample(signal string, n int) []Sample {
+	ss := tr.signals[signal]
+	if n <= 1 || len(ss) <= 2 {
+		out := make([]Sample, len(ss))
+		copy(out, ss)
+		return out
+	}
+	var out []Sample
+	for i := 0; i < len(ss); i += n {
+		out = append(out, ss[i])
+	}
+	if last := ss[len(ss)-1]; out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}

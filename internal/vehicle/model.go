@@ -1,0 +1,209 @@
+package vehicle
+
+import (
+	"fmt"
+	"math"
+
+	"adassure/internal/geom"
+)
+
+// Model advances a vehicle state under a command. Implementations are the
+// plants under test; they must be deterministic.
+type Model interface {
+	// Step integrates the state forward by dt seconds under cmd and
+	// returns the new state. dt must be positive.
+	Step(s State, cmd Command, dt float64) State
+	// Params returns the parameter set the model was built with.
+	Params() Params
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Kinematic is the rear-axle kinematic bicycle model:
+//
+//	ẋ = v cos θ, ẏ = v sin θ, θ̇ = v tan(δ)/L, v̇ = a
+//
+// with first-order actuator lags and rate/magnitude saturation applied to
+// the commanded steering and acceleration. It is the standard plant for
+// low-speed waypoint-following studies.
+type Kinematic struct {
+	p Params
+}
+
+// NewKinematic builds a kinematic bicycle model. It panics on invalid
+// parameters — model construction is programmer-controlled configuration,
+// not runtime input.
+func NewKinematic(p Params) *Kinematic {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Kinematic{p: p}
+}
+
+// Params implements Model.
+func (m *Kinematic) Params() Params { return m.p }
+
+// Name implements Model.
+func (m *Kinematic) Name() string { return "kinematic-bicycle" }
+
+// applyActuators realises the commanded steer/accel through saturation,
+// slew limiting and first-order lag, returning the realised values.
+func applyActuators(p Params, s State, cmd Command, dt float64) (steer, accel float64) {
+	// Sanitise non-finite commands to safe values (hold steering, brake).
+	steerCmd := cmd.Steer
+	if math.IsNaN(steerCmd) || math.IsInf(steerCmd, 0) {
+		steerCmd = s.Steer
+	}
+	accelCmd := cmd.Accel
+	if math.IsNaN(accelCmd) || math.IsInf(accelCmd, 0) {
+		accelCmd = -p.MaxBrake
+	}
+	steerCmd = geom.Clamp(steerCmd, -p.MaxSteer, p.MaxSteer)
+	accelCmd = geom.Clamp(accelCmd, -p.MaxBrake, p.MaxAccel)
+
+	// First-order lag toward the command.
+	steer = steerCmd
+	if p.SteerTimeConstant > 0 {
+		alpha := 1 - math.Exp(-dt/p.SteerTimeConstant)
+		steer = s.Steer + (steerCmd-s.Steer)*alpha
+	}
+	// Slew limit.
+	maxDelta := p.MaxSteerRate * dt
+	steer = geom.Clamp(steer, s.Steer-maxDelta, s.Steer+maxDelta)
+	steer = geom.Clamp(steer, -p.MaxSteer, p.MaxSteer)
+
+	accel = accelCmd
+	if p.AccelTimeConstant > 0 {
+		alpha := 1 - math.Exp(-dt/p.AccelTimeConstant)
+		accel = s.Accel + (accelCmd-s.Accel)*alpha
+	}
+	accel = geom.Clamp(accel, -p.MaxBrake, p.MaxAccel)
+	return steer, accel
+}
+
+// Step implements Model using RK2 (midpoint) integration of the kinematic
+// equations, which keeps circular arcs accurate at simulator step sizes.
+func (m *Kinematic) Step(s State, cmd Command, dt float64) State {
+	if dt <= 0 {
+		panic(fmt.Sprintf("vehicle: non-positive dt %g", dt))
+	}
+	p := m.p
+	steer, accel := applyActuators(p, s, cmd, dt)
+
+	v0 := s.Speed
+	v1 := geom.Clamp(v0+accel*dt, 0, p.MaxSpeed)
+	vMid := (v0 + v1) / 2
+	yawRate := vMid * math.Tan(steer) / p.Wheelbase
+	thMid := s.Heading + yawRate*dt/2
+
+	next := State{
+		X:       s.X + vMid*math.Cos(thMid)*dt,
+		Y:       s.Y + vMid*math.Sin(thMid)*dt,
+		Heading: geom.NormalizeAngle(s.Heading + yawRate*dt),
+		Speed:   v1,
+		YawRate: yawRate,
+		Accel:   accel,
+		Steer:   steer,
+	}
+	return next
+}
+
+// Dynamic is a linear single-track (dynamic bicycle) model with lateral
+// tire forces linear in slip angle. At low speed it blends into the
+// kinematic model to avoid the well-known singularity at v→0.
+type Dynamic struct {
+	p       Params
+	kin     *Kinematic
+	blendLo float64 // below this speed: pure kinematic
+	blendHi float64 // above this speed: pure dynamic
+}
+
+// NewDynamic builds a dynamic bicycle model.
+func NewDynamic(p Params) *Dynamic {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.Mass <= 0 || p.Iz <= 0 || p.Lf <= 0 || p.Lr <= 0 || p.Cf <= 0 || p.Cr <= 0 {
+		panic("vehicle: dynamic model requires positive mass, inertia, axle distances and cornering stiffnesses")
+	}
+	return &Dynamic{p: p, kin: NewKinematic(p), blendLo: 1.0, blendHi: 3.0}
+}
+
+// Params implements Model.
+func (m *Dynamic) Params() Params { return m.p }
+
+// Name implements Model.
+func (m *Dynamic) Name() string { return "dynamic-bicycle" }
+
+// Step implements Model.
+func (m *Dynamic) Step(s State, cmd Command, dt float64) State {
+	if dt <= 0 {
+		panic(fmt.Sprintf("vehicle: non-positive dt %g", dt))
+	}
+	kin := m.kin.Step(s, cmd, dt)
+	if s.Speed <= m.blendLo {
+		return kin
+	}
+	dyn := m.stepDynamic(s, cmd, dt)
+	if s.Speed >= m.blendHi {
+		return dyn
+	}
+	// Linear blend in the transition band.
+	w := (s.Speed - m.blendLo) / (m.blendHi - m.blendLo)
+	return State{
+		X:       kin.X*(1-w) + dyn.X*w,
+		Y:       kin.Y*(1-w) + dyn.Y*w,
+		Heading: geom.AngleLerp(kin.Heading, dyn.Heading, w),
+		Speed:   kin.Speed*(1-w) + dyn.Speed*w,
+		YawRate: kin.YawRate*(1-w) + dyn.YawRate*w,
+		Accel:   kin.Accel*(1-w) + dyn.Accel*w,
+		Steer:   kin.Steer*(1-w) + dyn.Steer*w,
+		Slip:    dyn.Slip * w,
+	}
+}
+
+func (m *Dynamic) stepDynamic(s State, cmd Command, dt float64) State {
+	p := m.p
+	steer, accel := applyActuators(p, s, cmd, dt)
+
+	vx := math.Max(s.Speed, 0.5) // longitudinal speed, floored for stability
+	vy := s.Slip
+	r := s.YawRate
+
+	// Slip angles (small-angle linear tire model).
+	alphaF := math.Atan2(vy+p.Lf*r, vx) - steer
+	alphaV := math.Atan2(vy-p.Lr*r, vx)
+	Fyf := -p.Cf * alphaF
+	Fyr := -p.Cr * alphaV
+
+	// Lateral and yaw dynamics (explicit Euler; dt is small and the linear
+	// tire model is well-damped at shuttle speeds).
+	vyDot := (Fyf*math.Cos(steer)+Fyr)/p.Mass - vx*r
+	rDot := (p.Lf*Fyf*math.Cos(steer) - p.Lr*Fyr) / p.Iz
+
+	vyNext := vy + vyDot*dt
+	rNext := r + rDot*dt
+	vxNext := geom.Clamp(s.Speed+accel*dt, 0, p.MaxSpeed)
+
+	thMid := s.Heading + rNext*dt/2
+	cos, sin := math.Cos(thMid), math.Sin(thMid)
+	// World-frame velocity from body-frame (vx, vy).
+	dx := (vx*cos - vy*sin) * dt
+	dy := (vx*sin + vy*cos) * dt
+
+	return State{
+		X:       s.X + dx,
+		Y:       s.Y + dy,
+		Heading: geom.NormalizeAngle(s.Heading + rNext*dt),
+		Speed:   vxNext,
+		YawRate: rNext,
+		Accel:   accel,
+		Steer:   steer,
+		Slip:    vyNext,
+	}
+}
+
+var (
+	_ Model = (*Kinematic)(nil)
+	_ Model = (*Dynamic)(nil)
+)
