@@ -1,0 +1,29 @@
+# Developer / CI entry points. `make check` is the gate every change must
+# pass: vet, build, and the full test suite under the race detector (the
+# harness fans scenario grids across goroutines, so -race exercises the
+# concurrent paths on every run).
+
+GO ?= go
+
+.PHONY: check vet build test race bench tables
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation table/figure (see EXPERIMENTS.md).
+tables:
+	$(GO) run ./cmd/adassure-bench -seeds 3

@@ -30,6 +30,7 @@
 package adassure
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,6 +41,7 @@ import (
 	"adassure/internal/harness"
 	"adassure/internal/offline"
 	"adassure/internal/report"
+	"adassure/internal/runner"
 	"adassure/internal/sim"
 	"adassure/internal/trace"
 	"adassure/internal/track"
@@ -391,6 +393,21 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 	return out, nil
 }
 
+// RunScenarios executes independent scenarios concurrently across a
+// worker pool of the given size (workers <= 0 means runtime.GOMAXPROCS)
+// and returns the results in scenario order. Each scenario builds its own
+// simulator, sensors and monitor, so results are identical to calling
+// Run sequentially — only wall-clock time changes. Cancelling ctx (nil
+// means context.Background) stops undispatched scenarios; a scenario that
+// fails or panics cancels the rest, and the lowest-indexed failure is
+// returned alongside the partial results.
+func RunScenarios(ctx context.Context, scenarios []Scenario, workers int) ([]*ScenarioResult, error) {
+	return runner.Map(runner.Options{Workers: workers, Context: ctx}, scenarios,
+		func(_ context.Context, _ int, s Scenario) (*ScenarioResult, error) {
+			return s.Run()
+		})
+}
+
 // ReadRecording parses a recording previously persisted with
 // Recording.Write.
 func ReadRecording(r io.Reader) (*Recording, error) { return offline.Read(r) }
@@ -462,7 +479,10 @@ func DefaultLimits(p VehicleParams) Limits {
 // each entry regenerates one table or figure of the paper reproduction.
 func Experiments() []harness.Experiment { return harness.All() }
 
-// RunExperiment regenerates one experiment by ID (e.g. "T1", "F4").
+// RunExperiment regenerates one experiment by ID (e.g. "T1", "F4"). The
+// scenario grid behind the experiment fans out across
+// ExperimentOptions.Workers goroutines (default GOMAXPROCS); the rendered
+// table is byte-identical for any worker count.
 func RunExperiment(id string, opts ExperimentOptions) (*Table, error) {
 	e, err := harness.ByID(id)
 	if err != nil {

@@ -13,7 +13,10 @@
 package adassure
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"adassure/internal/attacks"
@@ -69,6 +72,55 @@ func BenchmarkExtensionX2DriftRateSweep(b *testing.B)     { benchExperiment(b, "
 func BenchmarkExtensionX3StepMagnitudeSweep(b *testing.B) { benchExperiment(b, "X3") }
 func BenchmarkExtensionX4AssertionUtility(b *testing.B)   { benchExperiment(b, "X4") }
 func BenchmarkExtensionX5FusionAblation(b *testing.B)     { benchExperiment(b, "X5") }
+
+// --- parallel harness path -------------------------------------------------
+
+// BenchmarkHarnessWorkers compares the experiment harness at workers=1
+// (the sequential path) against workers=GOMAXPROCS on the T1 detection
+// matrix — the headline number for the internal/runner scenario pool. The
+// rendered table is byte-identical at every worker count (see
+// internal/harness TestParallelDeterminism), so the two sub-benchmarks
+// measure the same work; only wall-clock changes. On a single-core
+// machine the two are expected to tie.
+func BenchmarkHarnessWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				tb, err := RunExperiment("T1", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tb.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunScenarios measures the public parallel scenario batch API
+// on an 8-scenario attack sweep, workers=1 vs workers=GOMAXPROCS.
+func BenchmarkRunScenarios(b *testing.B) {
+	scns := make([]Scenario, 8)
+	for i := range scns {
+		scns[i] = Scenario{
+			Attack:   AttackStepSpoof,
+			Seed:     int64(i + 1),
+			Duration: 30,
+		}
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunScenarios(context.Background(), scns, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- micro-benchmarks of the hot paths -----------------------------------
 

@@ -9,12 +9,18 @@
 //	adassure-bench -id T2     # one experiment
 //	adassure-bench -seeds 5   # more repetitions
 //	adassure-bench -quick     # fast smoke pass
+//	adassure-bench -workers 8 # scenario-pool size (default GOMAXPROCS)
+//
+// The scenario grid of every experiment fans out across -workers
+// goroutines; the tables are byte-identical for any worker count
+// (including 1), so -workers only changes wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"adassure"
@@ -26,10 +32,11 @@ func main() {
 		seeds      = flag.Int("seeds", 3, "seeds per configuration")
 		quick      = flag.Bool("quick", false, "shorten runs for a smoke pass")
 		controller = flag.String("controller", "pure-pursuit", "default lateral controller")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size")
 	)
 	flag.Parse()
 
-	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller}
+	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller, Workers: *workers}
 
 	run := func(eid string) {
 		start := time.Now()

@@ -7,12 +7,18 @@
 //	adassure-sim -track urban-loop -controller pure-pursuit \
 //	    -attack gnss-drift-spoof -seed 1 -duration 70 [-guard] \
 //	    [-trace out.csv] [-json out.json]
+//
+// With -seeds N (N > 1) the same scenario is repeated for N consecutive
+// seeds, fanned across -workers goroutines (default GOMAXPROCS), and a
+// per-seed detection summary is printed instead of the single-run report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"adassure"
 )
@@ -34,6 +40,8 @@ func main() {
 		reportMD   = flag.String("report", "", "write the full Markdown debugging report to this file")
 		recordOut  = flag.String("record", "", "write the frame recording (for offline re-monitoring) to this file")
 		list       = flag.Bool("list", false, "list available tracks, controllers and attacks, then exit")
+		seedCount  = flag.Int("seeds", 1, "run this many consecutive seeds (starting at -seed) and print a per-seed summary")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size for -seeds > 1")
 	)
 	flag.Parse()
 
@@ -61,6 +69,16 @@ func main() {
 		ThresholdScale: *scale,
 		RecordFrames:   *recordOut != "",
 	}
+
+	if *seedCount > 1 {
+		if *traceCSV != "" || *traceJSON != "" || *reportMD != "" || *recordOut != "" {
+			fmt.Fprintln(os.Stderr, "adassure-sim: file outputs (-trace/-json/-report/-record) apply to single-seed runs only")
+			os.Exit(1)
+		}
+		runSweep(scn, *seedCount, *workers)
+		return
+	}
+
 	out, err := scn.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
@@ -138,5 +156,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s\n", *traceJSON)
+	}
+}
+
+// runSweep repeats the scenario for n consecutive seeds across the worker
+// pool and prints a per-seed detection summary. Results are seed-ordered
+// and identical to running each seed on its own.
+func runSweep(scn adassure.Scenario, n, workers int) {
+	scns := make([]adassure.Scenario, n)
+	for i := range scns {
+		scns[i] = scn
+		scns[i].Seed = scn.Seed + int64(i)
+	}
+	outs, err := adassure.RunScenarios(context.Background(), scns, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("sweep: track=%s controller=%s attack=%s seeds=%d..%d guard=%v workers=%d\n\n",
+		scn.Track, scn.Controller, scn.Attack, scn.Seed, scn.Seed+int64(n-1), scn.Guarded, workers)
+	fmt.Printf("%-6s %-14s %-10s %-8s %-10s %-22s\n",
+		"seed", "max|CTE| (m)", "detected", "by", "latency", "top cause")
+	fmt.Println("-------------------------------------------------------------------------")
+	detected := 0
+	for i, out := range outs {
+		det, by, lat := "no", "-", "-"
+		for _, v := range out.Violations {
+			if v.T >= scn.AttackStart {
+				det, by = "yes", v.AssertionID
+				lat = fmt.Sprintf("%.2f s", v.T-scn.AttackStart)
+				detected++
+				break
+			}
+		}
+		cause := "-"
+		if len(out.Hypotheses) > 0 {
+			cause = string(out.Hypotheses[0].Cause)
+		}
+		fmt.Printf("%-6d %-14.2f %-10s %-8s %-10s %-22s\n",
+			scns[i].Seed, out.Sim.MaxTrueCTE, det, by, lat, cause)
+	}
+	if scn.Attack != adassure.AttackNone {
+		fmt.Printf("\ndetected %d/%d runs post-onset\n", detected, n)
 	}
 }

@@ -1,6 +1,7 @@
 package adassure_test
 
 import (
+	"context"
 	"fmt"
 
 	"adassure"
@@ -24,6 +25,49 @@ func ExampleScenario() {
 	// Output:
 	// detected after onset: true
 	// top cause: gnss-step-spoof
+}
+
+// Run executes one scenario end to end: simulator, monitor and diagnosis.
+// A clean drive on the default stack raises no violations.
+func ExampleScenario_Run() {
+	out, err := adassure.Scenario{
+		Track:      adassure.TrackUrbanLoop,
+		Controller: adassure.ControllerStanley,
+		Seed:       1,
+		Duration:   30,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(out.Violations))
+	fmt.Println("detected:", out.Detected(0))
+	// Output:
+	// violations: 0
+	// detected: false
+}
+
+// RunScenarios fans independent scenarios across a worker pool; results
+// come back in input order, identical to running each sequentially.
+func ExampleRunScenarios() {
+	scns := make([]adassure.Scenario, 3)
+	for i := range scns {
+		scns[i] = adassure.Scenario{
+			Attack:   adassure.AttackStepSpoof,
+			Seed:     int64(i + 1),
+			Duration: 30,
+		}
+	}
+	outs, err := adassure.RunScenarios(context.Background(), scns, 0)
+	if err != nil {
+		panic(err)
+	}
+	for i, out := range outs {
+		fmt.Printf("seed %d detected: %v\n", i+1, out.Detected(20))
+	}
+	// Output:
+	// seed 1 detected: true
+	// seed 2 detected: true
+	// seed 3 detected: true
 }
 
 // Custom invariants compose with the built-in catalog through the DSL.

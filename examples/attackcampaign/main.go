@@ -1,11 +1,14 @@
 // Attack campaign: sweep every built-in attack class against the same
 // stack and print a detection/diagnosis summary — a compact version of the
-// paper-style evaluation loop.
+// paper-style evaluation loop. The sweep fans out across a worker pool
+// (adassure.RunScenarios), one goroutine per core; the rows come back in
+// attack order regardless of which scenario finishes first.
 //
 //	go run ./examples/attackcampaign
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 )
@@ -18,14 +21,17 @@ func main() {
 	fmt.Println("---------------------------------------------------------------------------")
 
 	const onset = 20.0
-	for _, attack := range adassure.AttackNames() {
-		out, err := adassure.Scenario{
-			Attack: attack,
-			Seed:   1,
-		}.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+	attackNames := adassure.AttackNames()
+	scns := make([]adassure.Scenario, len(attackNames))
+	for i, attack := range attackNames {
+		scns[i] = adassure.Scenario{Attack: attack, Seed: 1}
+	}
+	outs, err := adassure.RunScenarios(context.Background(), scns, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, out := range outs {
+		attack := attackNames[i]
 
 		detected, by, latency := "NO", "-", "-"
 		for _, v := range out.Violations {

@@ -47,16 +47,25 @@ func ExtensionX1GuardAblation(o Options) (*Table, error) {
 		{"assertion only", sim.GuardConfig{Enabled: true, GateThreshold: 1e12, StaleAfter: 1e9, AssertionTrigger: true}},
 		{"full guard", sim.GuardConfig{Enabled: true, AssertionTrigger: true}},
 	}
+	classes := []attacks.Class{attacks.ClassStepSpoof, attacks.ClassDriftSpoof}
+	var jobs []campaignJob
+	for _, v := range variants {
+		for _, class := range classes {
+			jobs = append(jobs, seedJobs(class, o.Controller, o.Seeds, v.guard)...)
+		}
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, v := range variants {
 		row := []string{v.name}
-		for _, class := range []attacks.Class{attacks.ClassStepSpoof, attacks.ClassDriftSpoof} {
+		for range classes {
 			var sum float64
-			for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-				res, _, err := campaignRun(o, tr, class, o.Controller, seed, v.guard)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.MaxTrueCTE
+			for si := 0; si < o.Seeds; si++ {
+				sum += outs[idx].res.MaxTrueCTE
+				idx++
 			}
 			row = append(row, fmt.Sprintf("%.2f", sum/float64(o.Seeds)))
 		}
@@ -85,30 +94,51 @@ func ExtensionX2DriftRateSweep(o Options) (*Table, error) {
 			"expected shape: latency falls with rate; the first detector crosses over from A13 (slow) to A10/A1 (fast); impact peaks at intermediate rates (slow enough to evade, fast enough to matter)",
 		},
 	}
-	for _, rate := range []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0} {
+	rates := []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}
+	type cell struct {
+		rate float64
+		seed int64
+	}
+	type outcome struct {
+		det metrics.Detection
+		cte float64
+	}
+	var jobs []cell
+	for _, rate := range rates {
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			jobs = append(jobs, cell{rate: rate, seed: seed})
+		}
+	}
+	outs, err := grid(o, jobs, func(c cell) (outcome, error) {
+		drift, err := attacks.NewDriftSpoof(attacks.Window{Start: attackOnset, End: attackEnd}, geom.V(0, 1), c.rate, 15)
+		if err != nil {
+			return outcome{}, err
+		}
+		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+		res, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
+			Campaign: attacks.Campaign{GNSS: drift}, Monitor: mon, DisableTrace: true,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{det: metrics.Detect(mon.Violations(), attackOnset), cte: res.MaxTrueCTE}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
 		var ds []metrics.Detection
 		firstBy := map[string]int{}
 		var worst float64
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			drift, err := attacks.NewDriftSpoof(attacks.Window{Start: attackOnset, End: attackEnd}, geom.V(0, 1), rate, 15)
-			if err != nil {
-				return nil, err
+		for si := 0; si < o.Seeds; si++ {
+			out := outs[ri*o.Seeds+si]
+			ds = append(ds, out.det)
+			if out.det.Detected {
+				firstBy[out.det.ByID]++
 			}
-			mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
-			res, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed, Duration: o.duration(),
-				Campaign: attacks.Campaign{GNSS: drift}, Monitor: mon, DisableTrace: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			d := metrics.Detect(mon.Violations(), attackOnset)
-			ds = append(ds, d)
-			if d.Detected {
-				firstBy[d.ByID]++
-			}
-			if res.MaxTrueCTE > worst {
-				worst = res.MaxTrueCTE
+			if out.cte > worst {
+				worst = out.cte
 			}
 		}
 		r := metrics.Aggregate(ds)
@@ -139,20 +169,24 @@ func ExtensionX4AssertionUtility(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runs []coverage.Run
 	classes := append([]attacks.Class{attacks.ClassNone}, attacks.StandardClasses()...)
+	var jobs []campaignJob
 	for _, class := range classes {
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
+		jobs = append(jobs, seedJobs(class, o.Controller, o.Seeds, sim.GuardConfig{})...)
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var runs []coverage.Run
+	for ci, class := range classes {
+		for si := 0; si < o.Seeds; si++ {
 			onset := attackOnset
 			if class == attacks.ClassNone {
 				onset = -1
 			}
 			runs = append(runs, coverage.Run{
-				Label: string(class), Onset: onset, Violations: mon.Violations(),
+				Label: string(class), Onset: onset, Violations: outs[ci*o.Seeds+si].mon.Violations(),
 			})
 		}
 	}
@@ -215,40 +249,73 @@ func ExtensionX5FusionAblation(o Options) (*Table, error) {
 			"finding: the gated heading blend of the complementary filter is NOT dragged by a drift spoof the way the EKF's cross-covariances are, so A13 loses its online signal — only the offline safety envelope (A12) catches the drift. The EKF's 'weakness' (heading drag) is exactly what makes the drift observable online.",
 		},
 	}
-	for _, loc := range []string{"ekf", "complementary"} {
+	locs := []string{"ekf", "complementary"}
+	attacked := []attacks.Class{attacks.ClassStepSpoof, attacks.ClassDriftSpoof}
+	type cell struct {
+		loc   string
+		class attacks.Class // ClassNone marks the clean tracking run
+		seed  int64
+	}
+	type outcome struct {
+		rms  float64
+		viol int
+		det  metrics.Detection
+	}
+	var jobs []cell
+	for _, loc := range locs {
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			jobs = append(jobs, cell{loc: loc, class: attacks.ClassNone, seed: seed})
+		}
+		for _, class := range attacked {
+			for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+				jobs = append(jobs, cell{loc: loc, class: class, seed: seed})
+			}
+		}
+	}
+	outs, err := grid(o, jobs, func(c cell) (outcome, error) {
+		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+		cfg := sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
+			Localizer: c.loc, Monitor: mon, DisableTrace: true,
+		}
+		if c.class != attacks.ClassNone {
+			camp, err := attacks.Standard(c.class, attacks.Window{Start: attackOnset, End: attackEnd}, c.seed)
+			if err != nil {
+				return outcome{}, err
+			}
+			cfg.Campaign = camp
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			rms:  res.RMSTrueCTE,
+			viol: len(mon.Violations()),
+			det:  metrics.Detect(mon.Violations(), attackOnset),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, loc := range locs {
 		var rms float64
 		var cleanViol int
 		det := map[attacks.Class]metrics.Rates{}
 		first := map[attacks.Class]string{}
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
-			res, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed, Duration: o.duration(),
-				Localizer: loc, Monitor: mon, DisableTrace: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rms += res.RMSTrueCTE
-			cleanViol += len(mon.Violations())
+		for si := 0; si < o.Seeds; si++ {
+			rms += outs[idx].rms
+			cleanViol += outs[idx].viol
+			idx++
 		}
 		rms /= float64(o.Seeds)
-		for _, class := range []attacks.Class{attacks.ClassStepSpoof, attacks.ClassDriftSpoof} {
+		for _, class := range attacked {
 			var ds []metrics.Detection
 			firstBy := map[string]int{}
-			for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-				camp, err := attacks.Standard(class, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
-				if err != nil {
-					return nil, err
-				}
-				mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
-				if _, err := sim.Run(sim.Config{
-					Track: tr, Controller: o.Controller, Seed: seed, Duration: o.duration(),
-					Localizer: loc, Campaign: camp, Monitor: mon, DisableTrace: true,
-				}); err != nil {
-					return nil, err
-				}
-				d := metrics.Detect(mon.Violations(), attackOnset)
+			for si := 0; si < o.Seeds; si++ {
+				d := outs[idx].det
+				idx++
 				ds = append(ds, d)
 				if d.Detected {
 					firstBy[d.ByID]++
@@ -294,22 +361,39 @@ func ExtensionX3StepMagnitudeSweep(o Options) (*Table, error) {
 			"expected shape: sub-noise steps (≲3σ of GNSS noise) are indistinguishable and harmless; above ~1 m the innovation gate reacts, above ~1.5 m the jump detector leads",
 		},
 	}
-	for _, mag := range []float64{0.25, 0.5, 1.0, 2.0, 5.0, 10.0} {
+	mags := []float64{0.25, 0.5, 1.0, 2.0, 5.0, 10.0}
+	type cell struct {
+		mag  float64
+		seed int64
+	}
+	var jobs []cell
+	for _, mag := range mags {
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			jobs = append(jobs, cell{mag: mag, seed: seed})
+		}
+	}
+	outs, err := grid(o, jobs, func(c cell) (metrics.Detection, error) {
+		step, err := attacks.NewStepSpoof(attacks.Window{Start: attackOnset, End: attackEnd}, geom.V(0, c.mag))
+		if err != nil {
+			return metrics.Detection{}, err
+		}
+		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+		if _, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
+			Campaign: attacks.Campaign{GNSS: step}, Monitor: mon, DisableTrace: true,
+		}); err != nil {
+			return metrics.Detection{}, err
+		}
+		return metrics.Detect(mon.Violations(), attackOnset), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mag := range mags {
 		var ds []metrics.Detection
 		firstBy := map[string]int{}
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			step, err := attacks.NewStepSpoof(attacks.Window{Start: attackOnset, End: attackEnd}, geom.V(0, mag))
-			if err != nil {
-				return nil, err
-			}
-			mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
-			if _, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed, Duration: o.duration(),
-				Campaign: attacks.Campaign{GNSS: step}, Monitor: mon, DisableTrace: true,
-			}); err != nil {
-				return nil, err
-			}
-			d := metrics.Detect(mon.Violations(), attackOnset)
+		for si := 0; si < o.Seeds; si++ {
+			d := outs[mi*o.Seeds+si]
 			ds = append(ds, d)
 			if d.Detected {
 				firstBy[d.ByID]++

@@ -91,13 +91,13 @@ func Figure3LatencyCDF(o Options) (*Table, error) {
 		seeds = 10
 	}
 	collect := func(class attacks.Class) ([]float64, error) {
+		outs, err := campaignGrid(o, tr, seedJobs(class, o.Controller, seeds, sim.GuardConfig{}))
+		if err != nil {
+			return nil, err
+		}
 		var lats []float64
-		for seed := int64(1); seed <= int64(seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
-			if d := metrics.Detect(mon.Violations(), attackOnset); d.Detected {
+		for _, out := range outs {
+			if d := metrics.Detect(out.mon.Violations(), attackOnset); d.Detected {
 				lats = append(lats, d.Latency)
 			}
 		}
@@ -132,7 +132,9 @@ func Figure3LatencyCDF(o Options) (*Table, error) {
 
 // Figure4MonitorOverhead regenerates F4: wall-clock cost of the assertion
 // monitor per control frame as the catalog grows, measured directly on a
-// synthetic frame stream.
+// synthetic frame stream. This experiment deliberately stays sequential —
+// it times a hot path, and running it alongside other scenario workers
+// would contaminate the measurement.
 func Figure4MonitorOverhead(o Options) (*Table, error) {
 	o.defaults()
 	t := &Table{
@@ -188,33 +190,55 @@ func Figure5ThresholdAblation(o Options) (*Table, error) {
 		Columns: []string{"threshold scale", "FP/run (clean)", "drift latency (s)", "drift detected"},
 		Notes:   []string{"scale multiplies every catalog threshold; expected shape: tighter thresholds detect sooner but alarm on nominal runs"},
 	}
-	for _, scale := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+	scales := []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+	type cell struct {
+		scale float64
+		seed  int64
+	}
+	type outcome struct {
+		fp  int
+		det metrics.Detection
+	}
+	var jobs []cell
+	for _, scale := range scales {
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			jobs = append(jobs, cell{scale: scale, seed: seed})
+		}
+	}
+	outs, err := grid(o, jobs, func(c cell) (outcome, error) {
+		// Clean run for FP measurement.
+		mon := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: c.scale, IncludeGroundTruth: true})
+		if _, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed,
+			Duration: o.duration(), Monitor: mon, DisableTrace: true,
+		}); err != nil {
+			return outcome{}, err
+		}
+
+		// Drift run for latency.
+		camp, err := attacks.Standard(attacks.ClassDriftSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, c.seed)
+		if err != nil {
+			return outcome{}, err
+		}
+		mon2 := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: c.scale, IncludeGroundTruth: true})
+		if _, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed,
+			Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
+		}); err != nil {
+			return outcome{}, err
+		}
+		return outcome{fp: len(mon.Violations()), det: metrics.Detect(mon2.Violations(), attackOnset)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, scale := range scales {
 		var fp int
 		var ds []metrics.Detection
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			// Clean run for FP measurement.
-			mon := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: scale, IncludeGroundTruth: true})
-			if _, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed,
-				Duration: o.duration(), Monitor: mon, DisableTrace: true,
-			}); err != nil {
-				return nil, err
-			}
-			fp += len(mon.Violations())
-
-			// Drift run for latency.
-			camp, err := attacks.Standard(attacks.ClassDriftSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
-			if err != nil {
-				return nil, err
-			}
-			mon2 := core.NewCatalogMonitor(core.CatalogConfig{ThresholdScale: scale, IncludeGroundTruth: true})
-			if _, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed,
-				Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
-			}); err != nil {
-				return nil, err
-			}
-			ds = append(ds, metrics.Detect(mon2.Violations(), attackOnset))
+		for i := 0; i < o.Seeds; i++ {
+			out := outs[si*o.Seeds+i]
+			fp += out.fp
+			ds = append(ds, out.det)
 		}
 		r := metrics.Aggregate(ds)
 		t.Rows = append(t.Rows, []string{
@@ -241,31 +265,53 @@ func Figure6DebounceAblation(o Options) (*Table, error) {
 		Columns: []string{"debounce", "FP/run (clean)", "step latency (s)", "step detected"},
 		Notes:   []string{"expected shape: longer windows suppress residual false alarms at the cost of detection latency growing with N"},
 	}
-	for _, deb := range []core.Debounce{{K: 1, N: 1}, {K: 2, N: 3}, {K: 4, N: 5}, {K: 6, N: 8}} {
+	debounces := []core.Debounce{{K: 1, N: 1}, {K: 2, N: 3}, {K: 4, N: 5}, {K: 6, N: 8}}
+	type cell struct {
+		deb  core.Debounce
+		seed int64
+	}
+	type outcome struct {
+		fp  int
+		det metrics.Detection
+	}
+	var jobs []cell
+	for _, deb := range debounces {
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			jobs = append(jobs, cell{deb: deb, seed: seed})
+		}
+	}
+	outs, err := grid(o, jobs, func(c cell) (outcome, error) {
+		mon := core.NewCatalogMonitor(core.CatalogConfig{Debounce: c.deb, IncludeGroundTruth: true})
+		if _, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed,
+			Duration: o.duration(), Monitor: mon, DisableTrace: true,
+		}); err != nil {
+			return outcome{}, err
+		}
+
+		camp, err := attacks.Standard(attacks.ClassStepSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, c.seed)
+		if err != nil {
+			return outcome{}, err
+		}
+		mon2 := core.NewCatalogMonitor(core.CatalogConfig{Debounce: c.deb, IncludeGroundTruth: true})
+		if _, err := sim.Run(sim.Config{
+			Track: tr, Controller: o.Controller, Seed: c.seed,
+			Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
+		}); err != nil {
+			return outcome{}, err
+		}
+		return outcome{fp: len(mon.Violations()), det: metrics.Detect(mon2.Violations(), attackOnset)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, deb := range debounces {
 		var fp int
 		var ds []metrics.Detection
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			mon := core.NewCatalogMonitor(core.CatalogConfig{Debounce: deb, IncludeGroundTruth: true})
-			if _, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed,
-				Duration: o.duration(), Monitor: mon, DisableTrace: true,
-			}); err != nil {
-				return nil, err
-			}
-			fp += len(mon.Violations())
-
-			camp, err := attacks.Standard(attacks.ClassStepSpoof, attacks.Window{Start: attackOnset, End: attackEnd}, seed)
-			if err != nil {
-				return nil, err
-			}
-			mon2 := core.NewCatalogMonitor(core.CatalogConfig{Debounce: deb, IncludeGroundTruth: true})
-			if _, err := sim.Run(sim.Config{
-				Track: tr, Controller: o.Controller, Seed: seed,
-				Duration: o.duration(), Campaign: camp, Monitor: mon2, DisableTrace: true,
-			}); err != nil {
-				return nil, err
-			}
-			ds = append(ds, metrics.Detect(mon2.Violations(), attackOnset))
+		for i := 0; i < o.Seeds; i++ {
+			out := outs[di*o.Seeds+i]
+			fp += out.fp
+			ds = append(ds, out.det)
 		}
 		r := metrics.Aggregate(ds)
 		t.Rows = append(t.Rows, []string{

@@ -2,15 +2,23 @@
 // table (T1–T6) and figure (F1–F6) in the evaluation, each regenerated as a
 // renderable Table from fresh simulation runs. See DESIGN.md §4 for the
 // experiment index and EXPERIMENTS.md for expected-vs-measured records.
+//
+// The scenario grids behind the experiments — every (track × controller ×
+// attack × seed) cell — are embarrassingly parallel, so each experiment
+// fans its runs across an internal/runner worker pool (Options.Workers,
+// default GOMAXPROCS). Results are collected index-ordered, which keeps
+// every rendered table byte-identical to the sequential workers=1 path.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"adassure/internal/attacks"
 	"adassure/internal/core"
+	"adassure/internal/runner"
 	"adassure/internal/sim"
 	"adassure/internal/track"
 	"adassure/internal/vehicle"
@@ -85,6 +93,14 @@ type Options struct {
 	Quick bool
 	// Controller is the default lateral controller (default "pure-pursuit").
 	Controller string
+	// Workers is the scenario-execution pool size (default
+	// runtime.GOMAXPROCS(0)). Every experiment produces identical output
+	// for any value, including 1 — see internal/runner.
+	Workers int
+	// Progress, when non-nil, receives (done, total) completion counts
+	// for each scenario batch an experiment fans out (an experiment may
+	// run several batches, so the count restarts per batch).
+	Progress func(done, total int)
 }
 
 func (o *Options) defaults() {
@@ -136,6 +152,50 @@ func campaignRun(o Options, tr *track.Track, class attacks.Class, controller str
 
 // urbanTrack builds the workhorse scenario route.
 func urbanTrack() (*track.Track, error) { return track.UrbanLoop(6) }
+
+// grid fans one batch of independent scenario jobs across the worker
+// pool and returns the outputs index-ordered, so every consumer can
+// aggregate in job order and produce output identical to the sequential
+// path. All simulation state (monitors, sensors, RNGs) is constructed
+// inside the job; the only values shared across goroutines are immutable
+// (the track and the options).
+func grid[I, O any](o Options, jobs []I, fn func(I) (O, error)) ([]O, error) {
+	return runner.Map(runner.Options{Workers: o.Workers, OnProgress: o.Progress}, jobs,
+		func(_ context.Context, _ int, j I) (O, error) { return fn(j) })
+}
+
+// campaignJob is one cell of a (class × controller × seed × guard)
+// experiment grid, executed by campaignRun.
+type campaignJob struct {
+	class      attacks.Class
+	controller string
+	seed       int64
+	guard      sim.GuardConfig
+}
+
+// campaignOut pairs a run result with its catalog monitor.
+type campaignOut struct {
+	res *sim.Result
+	mon *core.Monitor
+}
+
+// campaignGrid fans campaignRun over the job grid.
+func campaignGrid(o Options, tr *track.Track, jobs []campaignJob) ([]campaignOut, error) {
+	return grid(o, jobs, func(j campaignJob) (campaignOut, error) {
+		res, mon, err := campaignRun(o, tr, j.class, j.controller, j.seed, j.guard)
+		return campaignOut{res: res, mon: mon}, err
+	})
+}
+
+// seedJobs builds the per-seed job column for one (class, controller,
+// guard) configuration, seeds 1..n.
+func seedJobs(class attacks.Class, controller string, n int, guard sim.GuardConfig) []campaignJob {
+	jobs := make([]campaignJob, 0, n)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		jobs = append(jobs, campaignJob{class: class, controller: controller, seed: seed, guard: guard})
+	}
+	return jobs
+}
 
 // Experiment couples an ID with its generator, for the registry consumed by
 // the CLI and the benches.

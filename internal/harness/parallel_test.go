@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// render regenerates one experiment with the given worker count and
+// returns the rendered bytes.
+func render(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quick()
+	o.Workers = workers
+	tb, err := e.Run(o)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the core guarantee of the runner rewiring:
+// the rendered output of every parallelised experiment is byte-identical
+// for workers=1, workers=4 and workers=GOMAXPROCS. T1 exercises the
+// campaignGrid path, F5 the custom-config grid path, X5 the mixed
+// clean/attacked grid path.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"T1", "F5", "X5"} {
+		want := render(t, id, 1)
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			if got := render(t, id, workers); !bytes.Equal(got, want) {
+				t.Errorf("%s: workers=%d output differs from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					id, workers, want, workers, got)
+			}
+		}
+	}
+}
+
+// TestParallelProgress checks the per-batch progress callback reaches the
+// full grid size (T1 quick: 12 classes × 1 seed).
+func TestParallelProgress(t *testing.T) {
+	o := quick()
+	o.Workers = 4
+	var last int64
+	o.Progress = func(done, total int) {
+		atomic.StoreInt64(&last, int64(done))
+		if done > total {
+			t.Errorf("progress done=%d exceeds total=%d", done, total)
+		}
+	}
+	if _, err := Table1DetectionMatrix(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&last); got != 12 {
+		t.Errorf("final progress count = %d, want 12 (classes × seeds)", got)
+	}
+}

@@ -29,13 +29,19 @@ func Table1DetectionMatrix(o Options) (*Table, error) {
 			"A12 is the offline ground-truth safety envelope (simulation only)",
 		},
 	}
-	for _, class := range attacks.StandardClasses() {
+	classes := attacks.StandardClasses()
+	var jobs []campaignJob
+	for _, class := range classes {
+		jobs = append(jobs, seedJobs(class, o.Controller, o.Seeds, sim.GuardConfig{})...)
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, class := range classes {
 		hits := map[string]int{}
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
+		for si := 0; si < o.Seeds; si++ {
+			mon := outs[ci*o.Seeds+si].mon
 			seen := map[string]bool{}
 			for _, v := range mon.Violations() {
 				if v.T >= attackOnset && !seen[v.AssertionID] {
@@ -74,14 +80,20 @@ func Table2DetectionLatency(o Options) (*Table, error) {
 			"expected ordering: step/replay ≪ freeze/delay/dropout < drift",
 		},
 	}
-	for _, class := range attacks.StandardClasses() {
+	classes := attacks.StandardClasses()
+	var jobs []campaignJob
+	for _, class := range classes {
+		jobs = append(jobs, seedJobs(class, o.Controller, o.Seeds, sim.GuardConfig{})...)
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, class := range classes {
 		var ds []metrics.Detection
 		firstBy := map[string]int{}
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
+		for si := 0; si < o.Seeds; si++ {
+			mon := outs[ci*o.Seeds+si].mon
 			d := metrics.Detect(mon.Violations(), attackOnset)
 			ds = append(ds, d)
 			if d.Detected {
@@ -125,13 +137,18 @@ func Table3DetectionRates(o Options) (*Table, error) {
 		seeds = 5
 	}
 	classes := append([]attacks.Class{attacks.ClassNone}, attacks.StandardClasses()...)
+	var jobs []campaignJob
 	for _, class := range classes {
+		jobs = append(jobs, seedJobs(class, o.Controller, seeds, sim.GuardConfig{})...)
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, class := range classes {
 		var ds []metrics.Detection
-		for seed := int64(1); seed <= int64(seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
+		for si := 0; si < seeds; si++ {
+			mon := outs[ci*seeds+si].mon
 			onset := attackOnset
 			if class == attacks.ClassNone {
 				onset = -1
@@ -163,15 +180,21 @@ func Table4DiagnosisAccuracy(o Options) (*Table, error) {
 		Title:   "Root-cause diagnosis accuracy",
 		Columns: []string{"attack", "top-1", "top-2", "most common top-1"},
 	}
+	classes := attacks.StandardClasses()
+	var jobs []campaignJob
+	for _, class := range classes {
+		jobs = append(jobs, seedJobs(class, o.Controller, o.Seeds, sim.GuardConfig{})...)
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var overall1, overall2, total int
-	for _, class := range attacks.StandardClasses() {
+	for ci, class := range classes {
 		top1, top2 := 0, 0
 		preds := map[string]int{}
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			_, mon, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
+		for si := 0; si < o.Seeds; si++ {
+			mon := outs[ci*o.Seeds+si].mon
 			hyps := diagnosis.Diagnose(mon.Violations())
 			preds[string(hyps[0].Cause)]++
 			if string(hyps[0].Cause) == string(class) {
@@ -227,21 +250,32 @@ func Table5ControllerComparison(o Options) (*Table, error) {
 		},
 		Notes: []string{"per-controller weakness signatures appear in the clean-violations column and in the relative attack deviations"},
 	}
-	for _, ctrl := range []string{"pure-pursuit", "stanley", "pid-lateral", "lqr-mpc"} {
+	controllers := []string{"pure-pursuit", "stanley", "pid-lateral", "lqr-mpc"}
+	classes := []attacks.Class{attacks.ClassNone, attacks.ClassDriftSpoof, attacks.ClassStepSpoof}
+	var jobs []campaignJob
+	for _, ctrl := range controllers {
+		for _, class := range classes {
+			jobs = append(jobs, seedJobs(class, ctrl, o.Seeds, sim.GuardConfig{})...)
+		}
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, ctrl := range controllers {
 		cells := map[string]float64{}
 		var cleanViol int
-		for _, class := range []attacks.Class{attacks.ClassNone, attacks.ClassDriftSpoof, attacks.ClassStepSpoof} {
+		for _, class := range classes {
 			var worst float64
-			for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-				res, mon, err := campaignRun(o, tr, class, ctrl, seed, sim.GuardConfig{})
-				if err != nil {
-					return nil, err
-				}
-				if res.MaxTrueCTE > worst {
-					worst = res.MaxTrueCTE
+			for si := 0; si < o.Seeds; si++ {
+				out := outs[idx]
+				idx++
+				if out.res.MaxTrueCTE > worst {
+					worst = out.res.MaxTrueCTE
 				}
 				if class == attacks.ClassNone {
-					cleanViol += len(mon.Violations())
+					cleanViol += len(out.mon.Violations())
 				}
 			}
 			cells[string(class)] = worst
@@ -276,23 +310,33 @@ func Table6DebugLoop(o Options) (*Table, error) {
 			"guard = χ²-gated fusion + staleness trigger + assertion-triggered latched fallback with MRM stop",
 		},
 	}
-	for _, class := range []attacks.Class{
+	classes := []attacks.Class{
 		attacks.ClassStepSpoof, attacks.ClassDriftSpoof, attacks.ClassReplay,
 		attacks.ClassFreeze, attacks.ClassDropout, attacks.ClassMeander,
-	} {
-		var unguarded, guarded, fb float64
+	}
+	guardOn := sim.GuardConfig{Enabled: true, AssertionTrigger: true}
+	var jobs []campaignJob
+	for _, class := range classes {
 		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			res, _, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{})
-			if err != nil {
-				return nil, err
-			}
-			unguarded += res.MaxTrueCTE
-			gres, _, err := campaignRun(o, tr, class, o.Controller, seed, sim.GuardConfig{Enabled: true, AssertionTrigger: true})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs,
+				campaignJob{class: class, controller: o.Controller, seed: seed},
+				campaignJob{class: class, controller: o.Controller, seed: seed, guard: guardOn},
+			)
+		}
+	}
+	outs, err := campaignGrid(o, tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, class := range classes {
+		var unguarded, guarded, fb float64
+		for si := 0; si < o.Seeds; si++ {
+			unguarded += outs[idx].res.MaxTrueCTE
+			gres := outs[idx+1].res
 			guarded += gres.MaxTrueCTE
 			fb += gres.FallbackTime
+			idx += 2
 		}
 		n := float64(o.Seeds)
 		unguarded /= n

@@ -1,0 +1,38 @@
+package runner_test
+
+import (
+	"context"
+	"fmt"
+
+	"adassure/internal/runner"
+)
+
+// Map fans a job grid across the pool; results come back in job order no
+// matter how many workers run or in what order they finish.
+func ExampleMap() {
+	seeds := []int64{1, 2, 3, 4}
+	out, err := runner.Map(runner.Options{Workers: 4}, seeds,
+		func(_ context.Context, _ int, seed int64) (int64, error) {
+			return seed * seed, nil // stand-in for one simulation run
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// [1 4 9 16]
+}
+
+// Run is the index-only variant, for jobs derived from closure scope.
+func ExampleRun() {
+	out, err := runner.Run(runner.Options{Workers: 2}, 3,
+		func(_ context.Context, i int) (string, error) {
+			return fmt.Sprintf("experiment-%d", i), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// [experiment-0 experiment-1 experiment-2]
+}
