@@ -1,13 +1,17 @@
 # Developer / CI entry points. `make check` is the gate every change must
-# pass: vet, build, and the full test suite under the race detector (the
+# pass: vet, build, the full test suite under the race detector (the
 # harness fans scenario grids across goroutines, so -race exercises the
-# concurrent paths on every run).
+# concurrent paths on every run), the golden-file regression suite and a
+# short fuzz smoke of every native fuzz target.
 
 GO ?= go
 
-.PHONY: check vet build test race bench tables
+# Per-target budget for the fuzz smoke pass.
+FUZZTIME ?= 10s
 
-check: vet build race
+.PHONY: check vet build test race bench tables golden golden-update fuzz-smoke
+
+check: vet build race golden fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +27,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Golden-file regression suite: every deterministic experiment rendering
+# must match its committed snapshot byte-for-byte.
+golden:
+	$(GO) test ./internal/harness -run TestGolden
+
+# Rewrite the golden files after an intentional behaviour change; review
+# the diff before committing.
+golden-update:
+	$(GO) test ./internal/harness -run TestGolden -update
+
+# Run each native fuzz target for $(FUZZTIME) on top of its committed seed
+# corpus — a cheap crash/contract smoke, not a deep campaign.
+fuzz-smoke:
+	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzSplineProject -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 
 # Regenerate every evaluation table/figure (see EXPERIMENTS.md).
 tables:

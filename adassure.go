@@ -39,6 +39,7 @@ import (
 	"adassure/internal/diagnosis"
 	"adassure/internal/geom"
 	"adassure/internal/harness"
+	"adassure/internal/obs"
 	"adassure/internal/offline"
 	"adassure/internal/report"
 	"adassure/internal/runner"
@@ -111,7 +112,19 @@ type (
 	Recording = offline.Recording
 	// RecordingMeta is the recording provenance.
 	RecordingMeta = offline.Meta
+	// Registry is the runtime-metrics registry (see internal/obs): atomic
+	// counters, gauges and fixed-bucket latency histograms the sim step
+	// loop, assertion monitor and scenario runner report into. Attach one
+	// via Scenario.Obs, BatchOptions.Obs or ExperimentOptions.Obs; a nil
+	// registry costs nothing.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serialisable registry view
+	// with p50/p95/p99 per histogram.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewCatalogMonitor builds a Monitor loaded with the built-in assertion
 // catalog A1–A14.
@@ -247,6 +260,12 @@ type Scenario struct {
 	// Localizer selects the fusion stack: "ekf" (default) or
 	// "complementary" (fixed-gain filter without innovation gating).
 	Localizer string
+	// Obs, when non-nil, collects runtime metrics for the run: control-step
+	// count and latency histogram, achieved steps/s, and the per-assertion
+	// monitoring cost (eval latency, eval and violation counts). Read the
+	// results with Registry.Snapshot or Registry.WriteJSON. Nil (the
+	// default) adds no overhead.
+	Obs *Registry
 }
 
 // Outcome of a Scenario run.
@@ -363,6 +382,7 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 		Monitor:      mon,
 		RecordFrames: s.RecordFrames,
 		Localizer:    s.Localizer,
+		Obs:          s.Obs,
 	}
 	if s.Guarded {
 		cfg.Guard = sim.GuardConfig{Enabled: true, AssertionTrigger: true}
@@ -402,8 +422,37 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 // fails or panics cancels the rest, and the lowest-indexed failure is
 // returned alongside the partial results.
 func RunScenarios(ctx context.Context, scenarios []Scenario, workers int) ([]*ScenarioResult, error) {
-	return runner.Map(runner.Options{Workers: workers, Context: ctx}, scenarios,
+	return RunScenarioBatch(BatchOptions{Workers: workers, Context: ctx}, scenarios)
+}
+
+// BatchOptions configures RunScenarioBatch.
+type BatchOptions struct {
+	// Workers is the pool size (<= 0 means runtime.GOMAXPROCS).
+	Workers int
+	// Context cancels undispatched scenarios (nil means Background).
+	Context context.Context
+	// Obs, when non-nil, collects pool metrics (jobs completed/failed,
+	// queue wait, per-job duration) and is attached to every scenario that
+	// does not already carry its own registry, aggregating sim and monitor
+	// metrics across the batch. The registry is goroutine-safe.
+	Obs *Registry
+	// Progress, when non-nil, receives (done, total) after each scenario.
+	Progress func(done, total int)
+}
+
+// RunScenarioBatch is RunScenarios with explicit options — use it to attach
+// a metrics Registry or a progress callback to the batch.
+func RunScenarioBatch(opts BatchOptions, scenarios []Scenario) ([]*ScenarioResult, error) {
+	return runner.Map(runner.Options{
+		Workers:    opts.Workers,
+		Context:    opts.Context,
+		OnProgress: opts.Progress,
+		Obs:        opts.Obs,
+	}, scenarios,
 		func(_ context.Context, _ int, s Scenario) (*ScenarioResult, error) {
+			if s.Obs == nil {
+				s.Obs = opts.Obs
+			}
 			return s.Run()
 		})
 }

@@ -207,6 +207,40 @@ func BenchmarkSimSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkStepWithObs compares the full closed loop with and without a
+// metrics registry attached — the "observability is ≤5% overhead" number
+// from DESIGN.md §9. The obs=off case exercises the nil-registry path the
+// instrumented code always runs through; obs=on adds the step histogram,
+// per-assertion timing and the snapshot-ready counters.
+func BenchmarkStepWithObs(b *testing.B) {
+	tr, err := track.UrbanLoop(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, attach := range []bool{false, true} {
+		name := "obs=off"
+		if attach {
+			name = "obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var reg *Registry
+				if attach {
+					reg = NewRegistry()
+				}
+				mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
+				_, err := sim.Run(sim.Config{
+					Track: tr, Controller: "pure-pursuit", Seed: 1,
+					Duration: 1, Monitor: mon, DisableTrace: true, Obs: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAttackApply measures the per-fix cost of the attack transforms.
 func BenchmarkAttackApply(b *testing.B) {
 	camp, err := attacks.Standard(attacks.ClassDriftSpoof, attacks.Window{Start: 0, End: 1e9}, 1)

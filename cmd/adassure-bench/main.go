@@ -14,17 +14,64 @@
 // The scenario grid of every experiment fans out across -workers
 // goroutines; the tables are byte-identical for any worker count
 // (including 1), so -workers only changes wall-clock time.
+//
+// Observability: -metrics out.json writes a JSON runtime-metrics snapshot
+// aggregated across every scenario the selected experiments ran (runner
+// job stats, sim step histograms, per-assertion monitoring cost), and
+// -pprof addr serves net/http/pprof plus the live snapshot under expvar.
+// Attaching the registry never changes the rendered tables.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"adassure"
 )
+
+// startObs builds the registry for -metrics/-pprof, starting the pprof
+// server when addr is non-empty. Returns nil when both flags are off.
+func startObs(metricsPath, pprofAddr string) *adassure.Registry {
+	if metricsPath == "" && pprofAddr == "" {
+		return nil
+	}
+	reg := adassure.NewRegistry()
+	if pprofAddr != "" {
+		expvar.Publish("adassure", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "adassure-bench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar serving on http://%s/debug/pprof (metrics at /debug/vars)\n", pprofAddr)
+	}
+	return reg
+}
+
+// writeMetrics dumps the registry snapshot to path.
+func writeMetrics(reg *adassure.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = reg.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-bench: write metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics written to %s\n", path)
+}
 
 func main() {
 	var (
@@ -33,10 +80,13 @@ func main() {
 		quick      = flag.Bool("quick", false, "shorten runs for a smoke pass")
 		controller = flag.String("controller", "pure-pursuit", "default lateral controller")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size")
+		metricsOut = flag.String("metrics", "", "write a JSON runtime-metrics snapshot (sim/monitor/runner) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller, Workers: *workers}
+	reg := startObs(*metricsOut, *pprofAddr)
+	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller, Workers: *workers, Obs: reg}
 
 	run := func(eid string) {
 		start := time.Now()
@@ -54,9 +104,10 @@ func main() {
 
 	if *id != "" {
 		run(*id)
-		return
+	} else {
+		for _, e := range adassure.Experiments() {
+			run(e.ID)
+		}
 	}
-	for _, e := range adassure.Experiments() {
-		run(e.ID)
-	}
+	writeMetrics(reg, *metricsOut)
 }

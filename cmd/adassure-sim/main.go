@@ -11,17 +11,63 @@
 // With -seeds N (N > 1) the same scenario is repeated for N consecutive
 // seeds, fanned across -workers goroutines (default GOMAXPROCS), and a
 // per-seed detection summary is printed instead of the single-run report.
+//
+// Observability: -metrics out.json writes a JSON metrics snapshot of the
+// run (sim step histogram, per-assertion monitoring cost, runner job
+// stats; see the README "Observability" section), and -pprof addr serves
+// net/http/pprof plus the live snapshot under expvar for the lifetime of
+// the process.
 package main
 
 import (
-	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 
 	"adassure"
 )
+
+// startObs builds the registry for -metrics/-pprof, starting the pprof
+// server when addr is non-empty. Returns nil when both flags are off.
+func startObs(metricsPath, pprofAddr string) *adassure.Registry {
+	if metricsPath == "" && pprofAddr == "" {
+		return nil
+	}
+	reg := adassure.NewRegistry()
+	if pprofAddr != "" {
+		expvar.Publish("adassure", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "adassure-sim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar serving on http://%s/debug/pprof (metrics at /debug/vars)\n", pprofAddr)
+	}
+	return reg
+}
+
+// writeMetrics dumps the registry snapshot to path.
+func writeMetrics(reg *adassure.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = reg.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-sim: write metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics written to %s\n", path)
+}
 
 func main() {
 	var (
@@ -42,6 +88,8 @@ func main() {
 		list       = flag.Bool("list", false, "list available tracks, controllers and attacks, then exit")
 		seedCount  = flag.Int("seeds", 1, "run this many consecutive seeds (starting at -seed) and print a per-seed summary")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size for -seeds > 1")
+		metricsOut = flag.String("metrics", "", "write a JSON runtime-metrics snapshot (sim/monitor/runner) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -56,6 +104,7 @@ func main() {
 		return
 	}
 
+	reg := startObs(*metricsOut, *pprofAddr)
 	scn := adassure.Scenario{
 		Track:          adassure.TrackName(*trackName),
 		Controller:     adassure.ControllerName(*controller),
@@ -75,15 +124,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adassure-sim: file outputs (-trace/-json/-report/-record) apply to single-seed runs only")
 			os.Exit(1)
 		}
-		runSweep(scn, *seedCount, *workers)
+		runSweep(scn, *seedCount, *workers, reg)
+		writeMetrics(reg, *metricsOut)
 		return
 	}
 
-	out, err := scn.Run()
+	// Single runs still go through the scenario runner so the snapshot
+	// carries runner job stats alongside the sim/monitor metrics.
+	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: 1, Obs: reg}, []adassure.Scenario{scn})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
 		os.Exit(1)
 	}
+	out := outs[0]
 
 	r := out.Sim
 	fmt.Printf("run: track=%s controller=%s attack=%s seed=%d guard=%v\n",
@@ -157,18 +210,19 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *traceJSON)
 	}
+	writeMetrics(reg, *metricsOut)
 }
 
 // runSweep repeats the scenario for n consecutive seeds across the worker
 // pool and prints a per-seed detection summary. Results are seed-ordered
 // and identical to running each seed on its own.
-func runSweep(scn adassure.Scenario, n, workers int) {
+func runSweep(scn adassure.Scenario, n, workers int, reg *adassure.Registry) {
 	scns := make([]adassure.Scenario, n)
 	for i := range scns {
 		scns[i] = scn
 		scns[i].Seed = scn.Seed + int64(i)
 	}
-	outs, err := adassure.RunScenarios(context.Background(), scns, workers)
+	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: workers, Obs: reg}, scns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
 		os.Exit(1)

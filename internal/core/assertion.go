@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
+
+	"adassure/internal/obs"
 )
 
 // Severity grades a violation's safety relevance.
@@ -106,6 +109,12 @@ type monitored struct {
 	firstBreach float64
 	everFailed  bool
 	openIdx     int // index into Monitor.violations of the open episode
+
+	// Observability handles, resolved once by Monitor.Attach (nil when the
+	// monitor is uninstrumented — every operation on them is then a no-op).
+	evalNS *obs.Histogram
+	evals  *obs.Counter
+	raised *obs.Counter
 }
 
 func (m *monitored) reset() {
@@ -143,10 +152,44 @@ type Monitor struct {
 	violations []Violation
 	frames     int
 	skippedBad int
+
+	// Observability (nil registry = uninstrumented, the default).
+	obs        *obs.Registry
+	stepNS     *obs.Histogram
+	framesCtr  *obs.Counter
+	skippedCtr *obs.Counter
+	violCtr    *obs.Counter
 }
 
 // NewMonitor builds an empty monitor.
 func NewMonitor() *Monitor { return &Monitor{} }
+
+// Attach wires the monitor to a metrics registry: every Step records the
+// whole-step latency (monitor.step_ns), per-assertion evaluation latency
+// (monitor.<ID>.eval_ns) and eval counts, and raised-violation counters —
+// the numbers behind the "monitoring is cheap enough to run online" claim.
+// Attach(nil) detaches. The per-assertion attribution uses chained clock
+// reads (one per assertion per frame, not two), and includes the debounce
+// bookkeeping for that assertion; at sub-100 ns evals the ~25 ns clock read
+// itself is a visible fraction of the reported cost.
+func (m *Monitor) Attach(r *obs.Registry) *Monitor {
+	m.obs = r
+	m.stepNS = r.Histogram("monitor.step_ns")
+	m.framesCtr = r.Counter("monitor.frames")
+	m.skippedCtr = r.Counter("monitor.frames_skipped")
+	m.violCtr = r.Counter("monitor.violations")
+	for _, e := range m.entries {
+		e.attach(r)
+	}
+	return m
+}
+
+// attach resolves (or clears, for a nil registry) one entry's handles.
+func (e *monitored) attach(r *obs.Registry) {
+	e.evalNS = r.Histogram("monitor." + e.a.ID() + ".eval_ns")
+	e.evals = r.Counter("monitor." + e.a.ID() + ".evals")
+	e.raised = r.Counter("monitor." + e.a.ID() + ".violations")
+}
 
 // Add registers an assertion under a debounce policy. It returns the
 // monitor for chaining and panics on an invalid policy or duplicate ID —
@@ -162,6 +205,9 @@ func (m *Monitor) Add(a Assertion, deb Debounce) *Monitor {
 	}
 	e := &monitored{a: a, deb: deb}
 	e.reset()
+	if m.obs != nil {
+		e.attach(m.obs)
+	}
 	m.entries = append(m.entries, e)
 	return m
 }
@@ -169,47 +215,74 @@ func (m *Monitor) Add(a Assertion, deb Debounce) *Monitor {
 // Step evaluates every assertion on the frame.
 func (m *Monitor) Step(f Frame) {
 	m.frames++
+	m.framesCtr.Inc()
 	if !f.Finite() {
 		m.skippedBad++
+		m.skippedCtr.Inc()
 		return
 	}
+	// Chained timestamps: with a registry attached, one clock read per
+	// assertion attributes eval + bookkeeping cost to that assertion and the
+	// first-to-last span to monitor.step_ns. Without one, the loop pays a
+	// single nil check per assertion.
+	var start, prev time.Time
+	if m.obs != nil {
+		start = time.Now()
+		prev = start
+	}
 	for _, e := range m.entries {
-		out := e.a.Eval(f)
-		if out.Skip {
-			continue
+		m.apply(e, f, e.a.Eval(f))
+		if m.obs != nil {
+			now := time.Now()
+			e.evalNS.Observe(now.Sub(prev).Nanoseconds())
+			e.evals.Inc()
+			prev = now
 		}
-		if !out.OK && !e.inEpisode && e.firstBreachUnset() {
+	}
+	if m.obs != nil {
+		m.stepNS.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// apply pushes one evaluation outcome through an entry's debounce window
+// and episode bookkeeping.
+func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
+	if out.Skip {
+		return
+	}
+	if !out.OK && !e.inEpisode && e.firstBreachUnset() {
+		e.firstBreach = f.T
+	}
+	fails, filled := e.push(!out.OK)
+	switch {
+	case !e.inEpisode && filled >= e.deb.K && fails >= e.deb.K:
+		e.inEpisode = true
+		e.everFailed = true
+		if e.firstBreach > f.T || e.firstBreachUnset() {
 			e.firstBreach = f.T
 		}
-		fails, filled := e.push(!out.OK)
-		switch {
-		case !e.inEpisode && filled >= e.deb.K && fails >= e.deb.K:
-			e.inEpisode = true
-			e.everFailed = true
-			if e.firstBreach > f.T || e.firstBreachUnset() {
-				e.firstBreach = f.T
-			}
-			e.openIdx = len(m.violations)
-			m.violations = append(m.violations, Violation{
-				AssertionID: e.a.ID(),
-				Name:        e.a.Name(),
-				Severity:    e.a.Severity(),
-				T:           f.T,
-				FirstBreach: e.firstBreach,
-				Message:     fmt.Sprintf("%s: %s (%d of last %d frames failing)", e.a.ID(), e.a.Description(), fails, filled),
-				Evidence:    out.Evidence,
-			})
-		case e.inEpisode && fails == 0 && filled == e.deb.N:
-			// Window fully clean: episode over; re-arm.
-			e.inEpisode = false
-			e.firstBreach = -1
-			if e.openIdx >= 0 {
-				m.violations[e.openIdx].Duration = f.T - m.violations[e.openIdx].T
-				e.openIdx = -1
-			}
-		case !e.inEpisode && fails == 0:
-			e.firstBreach = -1
+		e.openIdx = len(m.violations)
+		m.violations = append(m.violations, Violation{
+			AssertionID: e.a.ID(),
+			Name:        e.a.Name(),
+			Severity:    e.a.Severity(),
+			T:           f.T,
+			FirstBreach: e.firstBreach,
+			Message:     fmt.Sprintf("%s: %s (%d of last %d frames failing)", e.a.ID(), e.a.Description(), fails, filled),
+			Evidence:    out.Evidence,
+		})
+		e.raised.Inc()
+		m.violCtr.Inc()
+	case e.inEpisode && fails == 0 && filled == e.deb.N:
+		// Window fully clean: episode over; re-arm.
+		e.inEpisode = false
+		e.firstBreach = -1
+		if e.openIdx >= 0 {
+			m.violations[e.openIdx].Duration = f.T - m.violations[e.openIdx].T
+			e.openIdx = -1
 		}
+	case !e.inEpisode && fails == 0:
+		e.firstBreach = -1
 	}
 }
 

@@ -1,0 +1,63 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzCoordBound caps fuzzed coordinates. The spline lattice is resampled
+// at a fixed spacing, so unbounded-but-finite control points would make
+// construction allocate O(path length) vertices; 1e4 m keeps the worst
+// case around a hundred thousand lattice points while still exercising
+// extreme geometry.
+const fuzzCoordBound = 1e4
+
+// FuzzSplineProject drives spline construction and point projection with
+// arbitrary control and query points. Contract under test: for any spline
+// that construction accepts, Project never panics, returns finite
+// (arc, lateral), and the arc stays within [0, Length] — i.e. the
+// normalised parameter t = arc/Length is always in [0, 1].
+func FuzzSplineProject(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 20.0, 5.0, 30.0, 5.0, 15.0, 2.0, false)
+	f.Add(0.0, 0.0, 10.0, 0.0, 10.0, 10.0, 0.0, 10.0, 5.0, 5.0, true)
+	f.Add(-50.0, -50.0, 0.0, 80.0, 50.0, -50.0, 0.0, 0.0, 100.0, 100.0, false)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4, qx, qy float64, closed bool) {
+		coords := []float64{x1, y1, x2, y2, x3, y3, x4, y4, qx, qy}
+		for _, c := range coords {
+			if math.IsNaN(c) || math.Abs(c) > fuzzCoordBound {
+				t.Skip("out-of-scope input")
+			}
+		}
+		ctrl := []Vec2{{X: x1, Y: y1}, {X: x2, Y: y2}, {X: x3, Y: y3}, {X: x4, Y: y4}}
+		s, err := NewSpline(ctrl, SplineOpts{Closed: closed})
+		if err != nil {
+			// Degenerate control sets are rejected, not projected.
+			return
+		}
+		q := Vec2{X: qx, Y: qy}
+		arc, lateral := s.Project(q)
+		if math.IsNaN(arc) || math.IsInf(arc, 0) {
+			t.Fatalf("Project(%v) arc not finite: %g", q, arc)
+		}
+		if math.IsNaN(lateral) || math.IsInf(lateral, 0) {
+			t.Fatalf("Project(%v) lateral not finite: %g", q, lateral)
+		}
+		length := s.Length()
+		if arc < 0 || arc > length {
+			t.Fatalf("Project(%v) arc %g outside [0, %g]", q, arc, length)
+		}
+		if length > 0 {
+			if tt := arc / length; tt < 0 || tt > 1 {
+				t.Fatalf("normalised parameter %g outside [0, 1]", tt)
+			}
+		}
+		// The projected foot point must itself be a finite point on the path.
+		p := s.PointAt(arc)
+		if !p.IsFinite() {
+			t.Fatalf("PointAt(%g) not finite: %v", arc, p)
+		}
+		if h := s.HeadingAt(arc); math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("HeadingAt(%g) not finite: %g", arc, h)
+		}
+	})
+}

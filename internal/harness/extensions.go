@@ -117,7 +117,7 @@ func ExtensionX2DriftRateSweep(o Options) (*Table, error) {
 		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
 		res, err := sim.Run(sim.Config{
 			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
-			Campaign: attacks.Campaign{GNSS: drift}, Monitor: mon, DisableTrace: true,
+			Campaign: attacks.Campaign{GNSS: drift}, Monitor: mon, DisableTrace: true, Obs: o.Obs,
 		})
 		if err != nil {
 			return outcome{}, err
@@ -276,7 +276,7 @@ func ExtensionX5FusionAblation(o Options) (*Table, error) {
 		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
 		cfg := sim.Config{
 			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
-			Localizer: c.loc, Monitor: mon, DisableTrace: true,
+			Localizer: c.loc, Monitor: mon, DisableTrace: true, Obs: o.Obs,
 		}
 		if c.class != attacks.ClassNone {
 			camp, err := attacks.Standard(c.class, attacks.Window{Start: attackOnset, End: attackEnd}, c.seed)
@@ -380,7 +380,7 @@ func ExtensionX3StepMagnitudeSweep(o Options) (*Table, error) {
 		mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
 		if _, err := sim.Run(sim.Config{
 			Track: tr, Controller: o.Controller, Seed: c.seed, Duration: o.duration(),
-			Campaign: attacks.Campaign{GNSS: step}, Monitor: mon, DisableTrace: true,
+			Campaign: attacks.Campaign{GNSS: step}, Monitor: mon, DisableTrace: true, Obs: o.Obs,
 		}); err != nil {
 			return metrics.Detection{}, err
 		}

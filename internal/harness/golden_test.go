@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden from the current output")
+
+// goldenIDs is every experiment whose quick-mode rendering is fully
+// deterministic at a fixed seed. F1/F2 are excluded because their sampled
+// series are too long to make useful golden files, and F4 because it
+// reports wall-clock timing.
+var goldenIDs = []string{
+	"T1", "T2", "T3", "T4", "T5", "T6",
+	"F3", "F5", "F6",
+	"X1", "X2", "X3", "X4", "X5",
+}
+
+// goldenOpts is the fixed configuration the golden files were generated
+// with: quick mode, one seed. Workers is left at the default because every
+// experiment renders byte-identically for any worker count.
+func goldenOpts() Options { return Options{Quick: true, Seeds: 1} }
+
+// TestGolden locks the rendered output of every deterministic experiment
+// to a committed snapshot, so any behavioural drift — a threshold nudge, a
+// changed debounce, a reordered row — shows up as a byte diff in review.
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/harness -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := e.Run(goldenOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tb.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from %s (regenerate with -update if intentional)\n--- want\n%s\n--- got\n%s",
+					id, path, want, buf.Bytes())
+			}
+		})
+	}
+}

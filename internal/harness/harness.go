@@ -18,6 +18,7 @@ import (
 
 	"adassure/internal/attacks"
 	"adassure/internal/core"
+	"adassure/internal/obs"
 	"adassure/internal/runner"
 	"adassure/internal/sim"
 	"adassure/internal/track"
@@ -101,6 +102,14 @@ type Options struct {
 	// for each scenario batch an experiment fans out (an experiment may
 	// run several batches, so the count restarts per batch).
 	Progress func(done, total int)
+	// Obs, when non-nil, aggregates runtime metrics across every scenario
+	// an experiment runs: runner job stats, sim step histograms and the
+	// per-assertion monitoring cost (see internal/obs). Metrics never feed
+	// back into rendered tables, so attaching a registry cannot perturb
+	// the byte-identical-output guarantee. F4 is the exception: it always
+	// measures on its own private registry so its reported numbers are not
+	// polluted by (and do not pollute) the shared one.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -143,6 +152,7 @@ func campaignRun(o Options, tr *track.Track, class attacks.Class, controller str
 		Monitor:      mon,
 		Guard:        guard,
 		DisableTrace: false,
+		Obs:          o.Obs,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -160,7 +170,7 @@ func urbanTrack() (*track.Track, error) { return track.UrbanLoop(6) }
 // inside the job; the only values shared across goroutines are immutable
 // (the track and the options).
 func grid[I, O any](o Options, jobs []I, fn func(I) (O, error)) ([]O, error) {
-	return runner.Map(runner.Options{Workers: o.Workers, OnProgress: o.Progress}, jobs,
+	return runner.Map(runner.Options{Workers: o.Workers, OnProgress: o.Progress, Obs: o.Obs}, jobs,
 		func(_ context.Context, _ int, j I) (O, error) { return fn(j) })
 }
 

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adassure/internal/core"
+)
+
+// propConfig bounds testing/quick's default float generator (which spans
+// the full float64 range) to the magnitudes the evaluation layer actually
+// sees — seconds of latency, metres of error, nanoseconds of cost — so the
+// properties probe behaviour, not extreme-range rounding.
+func propTrace(r *rand.Rand) []float64 {
+	vs := make([]float64, 1+r.Intn(64))
+	for i := range vs {
+		vs[i] = (r.Float64() - 0.5) * 2e12
+	}
+	return vs
+}
+
+// TestPercentileQuantileProperty: on any non-empty trace, Percentile is
+// monotone in q, stays within the sample range, and is exact (and
+// clamped) at the extremes. Complements the narrower
+// TestPercentileMonotoneProperty in metrics_test.go.
+func TestPercentileQuantileProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		vs := propTrace(r)
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 2.5 {
+			p := Percentile(vs, q)
+			if math.IsNaN(p) || p < prev || p < lo || p > hi {
+				return false
+			}
+			prev = p
+		}
+		// Extremes are exact, and out-of-range q clamps to them.
+		return Percentile(vs, 0) == lo && Percentile(vs, 100) == hi &&
+			Percentile(vs, -10) == lo && Percentile(vs, 1000) == hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDFProperty: the empirical CDF has strictly increasing values,
+// non-decreasing fractions in (0, 1], ends exactly at 1, and covers every
+// sample (each value's fraction counts all samples ≤ it).
+func TestCDFProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	prop := func() bool {
+		vs := propTrace(r)
+		cdf := CDF(vs)
+		if len(cdf) == 0 || len(cdf) > len(vs) {
+			return false
+		}
+		n := float64(len(vs))
+		prevV, prevF := math.Inf(-1), 0.0
+		for _, pt := range cdf {
+			if pt.Value <= prevV || pt.Fraction < prevF || pt.Fraction <= 0 || pt.Fraction > 1 {
+				return false
+			}
+			// Fraction must equal rank(value)/n on the sorted sample.
+			s := append([]float64(nil), vs...)
+			sort.Float64s(s)
+			rank := sort.SearchFloat64s(s, math.Nextafter(pt.Value, math.Inf(1)))
+			if pt.Fraction != float64(rank)/n {
+				return false
+			}
+			prevV, prevF = pt.Value, pt.Fraction
+		}
+		return cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectProperty: on any randomized violation record, detection
+// latency is never negative, the first post-onset violation wins, and
+// pre-onset violations are all (and only) the false positives. Clean runs
+// (onset < 0) never detect.
+func TestDetectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	prop := func() bool {
+		onset := (r.Float64() - 0.25) * 80 // ~25% clean runs
+		vs := make([]core.Violation, r.Intn(20))
+		pre, first := 0, math.Inf(1)
+		for i := range vs {
+			vs[i] = core.Violation{AssertionID: "A1", T: r.Float64() * 100}
+			if onset >= 0 && vs[i].T >= onset {
+				first = math.Min(first, vs[i].T)
+			} else {
+				pre++
+			}
+		}
+		d := Detect(vs, onset)
+		if d.Latency < 0 || d.FalsePositives != pre {
+			return false
+		}
+		if onset < 0 {
+			return !d.Detected && d.Latency == 0
+		}
+		if !math.IsInf(first, 1) {
+			return d.Detected && d.Latency == first-onset
+		}
+		return !d.Detected && d.Latency == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregateProperty: aggregated rates are internally consistent —
+// rate = detected/runs ∈ [0, 1], mean/median/p90 latency are non-negative
+// and ordered median ≤ p90 ≤ max latency.
+func TestAggregateProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	prop := func() bool {
+		ds := make([]Detection, r.Intn(30))
+		maxLat := 0.0
+		for i := range ds {
+			if r.Intn(2) == 0 {
+				ds[i] = Detection{Detected: true, Latency: r.Float64() * 50}
+				maxLat = math.Max(maxLat, ds[i].Latency)
+			}
+			ds[i].FalsePositives = r.Intn(3)
+		}
+		a := Aggregate(ds)
+		if a.Runs != len(ds) || a.DetectionRate < 0 || a.DetectionRate > 1 {
+			return false
+		}
+		if len(ds) > 0 && a.DetectionRate != float64(a.Detected)/float64(a.Runs) {
+			return false
+		}
+		if a.Detected == 0 {
+			return a.MeanLatency == 0 && a.MedianLatency == 0 && a.P90Latency == 0
+		}
+		return a.MeanLatency >= 0 && a.MedianLatency >= 0 &&
+			a.MedianLatency <= a.P90Latency+1e-9 && a.P90Latency <= maxLat+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot is a point-in-time, JSON-serialisable view of a registry. It is
+// the machine-readable per-run evidence the CLIs emit with -metrics and
+// the harness reads for the F4 "observed cost" section.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// HistogramSummary condenses one histogram: totals, mean, the standard
+// latency percentiles, and the non-empty buckets.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets lists only the occupied buckets, smallest bound first.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket: Count observations ≤ Le (the
+// overflow bucket reports Le = -1).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Summary condenses the histogram's current state.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	s := HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  sanitize(h.Mean()),
+		P50:   sanitize(h.Quantile(0.50)),
+		P95:   sanitize(h.Quantile(0.95)),
+		P99:   sanitize(h.Quantile(0.99)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// sanitize maps non-finite values to 0 so a snapshot always marshals —
+// encoding/json rejects NaN and ±Inf.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot captures every registered metric. Concurrent recorders may race
+// with the capture; each individual value is still atomically consistent.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for n, c := range counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for n, g := range gauges {
+			s.Gauges[n] = sanitize(g.Value())
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSummary, len(hists))
+		for n, h := range hists {
+			s.Histograms[n] = h.Summary()
+		}
+	}
+	return s
+}
+
+// WriteJSON serialises a snapshot of the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteJSON.
+func ReadSnapshot(rd io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(rd).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -32,6 +32,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"adassure/internal/obs"
 )
 
 // Options configures one pool run.
@@ -46,6 +49,12 @@ type Options struct {
 	// the callback needs no locking of its own, but it must be cheap — it
 	// sits on the result path of every worker.
 	OnProgress func(done, total int)
+	// Obs, when non-nil, receives pool metrics: runner.jobs_completed and
+	// runner.jobs_failed counters, a runner.job_ns histogram of per-job
+	// wall time, and runner.queue_wait_ns — how long each job sat queued
+	// before a worker picked it up (dispatch time minus pool start). The
+	// registry is shared safely across workers.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -107,10 +116,24 @@ func Run[O any](opts Options, n int, fn func(ctx context.Context, index int) (O,
 	ctx, cancel := context.WithCancel(opts.Context)
 	defer cancel()
 
+	// Pool metrics: handles resolved once; nil registry → nil handles →
+	// every record below is a single-branch no-op and the clock is never
+	// read.
 	var (
-		next int64 = -1 // atomic dispatch cursor
-		done int        // completion count, guarded by mu
-		mu   sync.Mutex // serializes OnProgress and done
+		completed = opts.Obs.Counter("runner.jobs_completed")
+		failed    = opts.Obs.Counter("runner.jobs_failed")
+		jobNS     = opts.Obs.Histogram("runner.job_ns")
+		queueNS   = opts.Obs.Histogram("runner.queue_wait_ns")
+		poolStart time.Time
+	)
+	if opts.Obs != nil {
+		poolStart = time.Now()
+	}
+
+	var (
+		next int64      = -1 // atomic dispatch cursor
+		done int             // completion count, guarded by mu
+		mu   sync.Mutex      // serializes OnProgress and done
 		wg   sync.WaitGroup
 	)
 
@@ -145,11 +168,22 @@ func Run[O any](opts Options, n int, fn func(ctx context.Context, index int) (O,
 					errs[i] = &JobError{Index: i, Err: err}
 					continue
 				}
-				if err := runOne(i); err != nil {
+				var jobStart time.Time
+				if opts.Obs != nil {
+					jobStart = time.Now()
+					queueNS.Observe(jobStart.Sub(poolStart).Nanoseconds())
+				}
+				err := runOne(i)
+				if opts.Obs != nil {
+					jobNS.Observe(time.Since(jobStart).Nanoseconds())
+				}
+				if err != nil {
+					failed.Inc()
 					errs[i] = err.(*JobError)
 					cancel()
 					continue
 				}
+				completed.Inc()
 				mu.Lock()
 				done++
 				if opts.OnProgress != nil {

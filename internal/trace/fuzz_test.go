@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTraceRoundTrip records arbitrary samples into a trace and checks the
+// two export formats. Contracts under test: JSON export → import is
+// lossless (same signals, same order, bit-identical samples), and the CSV
+// export is always structurally valid (rectangular, strictly increasing
+// time column, every non-empty cell a parseable float) — with neither path
+// panicking.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("cte", "speed", 0.0, 1.5, 0.1, -2.25, 0.2, 3.0)
+	f.Add("a", "a", 1.0, 0.0, 1.0, 0.0, 2.0, 1e300)
+	f.Add("x", "y", -5.0, 0.125, 0.0, -0.0, 5.0, 42.0)
+	f.Fuzz(func(t *testing.T, name1, name2 string, t1, v1, t2, v2, t3, v3 float64) {
+		// JSON cannot represent non-finite values, and invalid UTF-8 map
+		// keys are re-coded by the encoder; both are out of scope for the
+		// lossless-round-trip contract.
+		for _, v := range []float64{v1, v2, v3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite value")
+			}
+		}
+		if !utf8.ValidString(name1) || !utf8.ValidString(name2) {
+			t.Skip("invalid UTF-8 signal name")
+		}
+
+		tr := New()
+		// Record enforces its own preconditions (non-empty name, finite,
+		// monotone time); rejected samples simply never enter the trace.
+		_ = tr.Record(name1, t1, v1)
+		_ = tr.Record(name1, t2, v2)
+		_ = tr.Record(name2, t3, v3)
+
+		// JSON round trip.
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("ReadJSON of own output: %v", err)
+		}
+		wantSigs, gotSigs := tr.Signals(), back.Signals()
+		if len(wantSigs) != len(gotSigs) {
+			t.Fatalf("signal count changed: %d -> %d", len(wantSigs), len(gotSigs))
+		}
+		for i, sig := range wantSigs {
+			if gotSigs[i] != sig {
+				t.Fatalf("signal order changed at %d: %q -> %q", i, sig, gotSigs[i])
+			}
+			want, got := tr.Samples(sig), back.Samples(sig)
+			if len(want) != len(got) {
+				t.Fatalf("%q: sample count changed: %d -> %d", sig, len(want), len(got))
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("%q sample %d changed: %+v -> %+v", sig, j, want[j], got[j])
+				}
+			}
+		}
+
+		// CSV export: structurally valid for any trace content.
+		buf.Reset()
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		rows, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("CSV output does not re-parse: %v", err)
+		}
+		if len(rows) == 0 {
+			t.Fatal("CSV output missing header")
+		}
+		width := 1 + len(wantSigs)
+		if len(rows[0]) != width {
+			t.Fatalf("CSV header width %d, want %d", len(rows[0]), width)
+		}
+		prev := math.Inf(-1)
+		for i, row := range rows[1:] {
+			if len(row) != width {
+				t.Fatalf("CSV row %d width %d, want %d", i, len(row), width)
+			}
+			tc, err := strconv.ParseFloat(row[0], 64)
+			if err != nil {
+				t.Fatalf("CSV row %d time %q: %v", i, row[0], err)
+			}
+			if tc <= prev {
+				t.Fatalf("CSV time column not strictly increasing: %g after %g", tc, prev)
+			}
+			prev = tc
+			for j, cell := range row[1:] {
+				if cell == "" {
+					continue
+				}
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					t.Fatalf("CSV row %d col %d cell %q: %v", i, j, cell, err)
+				}
+			}
+		}
+	})
+}
