@@ -9,7 +9,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench tables golden golden-update fuzz-smoke
+.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke
 
 check: vet build race golden fuzz-smoke
 
@@ -28,15 +28,28 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Golden-file regression suite: every deterministic experiment rendering
-# must match its committed snapshot byte-for-byte.
+# Machine-readable benchmark snapshot: run the Benchmark* suite and write
+# name / ns_per_op / allocs_per_op per benchmark to BENCH_3.json, so the
+# perf trajectory accumulates as comparable artifacts across changes.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./internal/tools/benchjson > BENCH_3.json
+
+# Golden-file regression suite: every deterministic experiment rendering,
+# the event-timeline render and the diagnosis report must match their
+# committed snapshots byte-for-byte.
 golden:
 	$(GO) test ./internal/harness -run TestGolden
+	$(GO) test ./internal/events -run TestGoldenTimelineT4
+	$(GO) test ./internal/diagnosis -run TestGoldenReport
 
 # Rewrite the golden files after an intentional behaviour change; review
 # the diff before committing.
 golden-update:
 	$(GO) test ./internal/harness -run TestGolden -update
+	$(GO) test ./internal/events -run TestGoldenTimelineT4 -update
+	$(GO) test ./internal/diagnosis -run TestGoldenReport -update
 
 # Run each native fuzz target for $(FUZZTIME) on top of its committed seed
 # corpus — a cheap crash/contract smoke, not a deep campaign.

@@ -37,6 +37,8 @@ import (
 	"adassure/internal/attacks"
 	"adassure/internal/core"
 	"adassure/internal/diagnosis"
+	"adassure/internal/events"
+	"adassure/internal/forensics"
 	"adassure/internal/geom"
 	"adassure/internal/harness"
 	"adassure/internal/obs"
@@ -121,7 +123,43 @@ type (
 	// MetricsSnapshot is a point-in-time JSON-serialisable registry view
 	// with p50/p95/p99 per histogram.
 	MetricsSnapshot = obs.Snapshot
+	// EventRecorder is the structured event timeline — the "flight
+	// recorder" (see internal/events): typed spans and instants for
+	// scenario lifecycle, attack windows, violation episodes, guard
+	// fallback, diagnosis hypotheses and runner job spans, with an
+	// optional bounded ring buffer so long runs stay O(1) memory. Attach
+	// one via Scenario.Events, BatchOptions.Events or
+	// ExperimentOptions.Events; a nil recorder costs nothing.
+	EventRecorder = events.Recorder
+	// Event is one recorded timeline entry.
+	Event = events.Event
+	// EventLog is the serialised form of a recorded event stream.
+	EventLog = events.Log
+	// ForensicBundle is one violation-triggered debugging artifact: the
+	// evidence-window trace slice, the in-window frames, the attack state,
+	// the assertion's eval history and the top diagnosis hypotheses (see
+	// internal/forensics).
+	ForensicBundle = forensics.Bundle
+	// AttackInfo snapshots campaign state inside a forensic bundle.
+	AttackInfo = forensics.AttackInfo
 )
+
+// NewEventRecorder builds an event recorder. capacity > 0 bounds it to
+// the newest events (flight-recorder mode); capacity <= 0 keeps all.
+func NewEventRecorder(capacity int) *EventRecorder { return events.NewRecorder(capacity) }
+
+// WriteEventTimeline renders an event stream as a plain-text timeline.
+func WriteEventTimeline(w io.Writer, evs []Event) error { return events.WriteTimeline(w, evs) }
+
+// WritePerfetto exports an event stream in Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WritePerfetto(w io.Writer, evs []Event) error { return events.WritePerfetto(w, evs) }
+
+// ReadEventLog parses an events file written by EventRecorder.WriteJSON.
+func ReadEventLog(r io.Reader) (EventLog, error) { return events.ReadJSON(r) }
+
+// ReadForensicBundle parses a bundle file written by Bundle.WriteJSON.
+func ReadForensicBundle(r io.Reader) (*ForensicBundle, error) { return forensics.ReadJSON(r) }
 
 // NewRegistry builds an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
@@ -266,6 +304,17 @@ type Scenario struct {
 	// results with Registry.Snapshot or Registry.WriteJSON. Nil (the
 	// default) adds no overhead.
 	Obs *Registry
+	// Events, when non-nil, records the run's structured event timeline:
+	// the scenario lifecycle span, the attack activation window, guard
+	// fallback intervals, every violation episode and the top diagnosis
+	// hypotheses. Render with WriteEventTimeline, export with
+	// WritePerfetto, persist with EventRecorder.WriteJSON. Nil (the
+	// default) adds no overhead.
+	Events *EventRecorder
+	// EventScope prefixes every event track of the run (e.g. "s3/"),
+	// keeping tracks distinct when several scenarios share one recorder;
+	// RunScenarioBatch assigns per-index scopes automatically.
+	EventScope string
 }
 
 // Outcome of a Scenario run.
@@ -307,6 +356,41 @@ func (r *ScenarioResult) WriteMarkdownReport(w io.Writer) error {
 		Result:      r.Sim,
 		Violations:  r.Violations,
 		AttackOnset: onset,
+	})
+}
+
+// ForensicBundles builds one self-contained debugging bundle per violation
+// episode of the run: a ±halfWindow trace slice around the violation
+// (extended back to the episode's first breach), the in-window frames (when
+// Scenario.RecordFrames was set), the attack state, the assertion's eval
+// history (when Scenario.Obs was set) and the top diagnosis hypotheses.
+// halfWindow <= 0 uses the 2 s default. Persist each with
+// ForensicBundle.WriteJSON; re-read with ReadForensicBundle.
+func (r *ScenarioResult) ForensicBundles(halfWindow float64) []ForensicBundle {
+	var attack *AttackInfo
+	if r.scenario.Attack != AttackNone {
+		attack = &AttackInfo{
+			Name:  string(r.scenario.Attack),
+			Class: string(r.scenario.Attack),
+			Start: r.scenario.AttackStart,
+			End:   r.scenario.AttackEnd,
+		}
+	}
+	return forensics.Build(forensics.Input{
+		Scenario: map[string]string{
+			"track":      string(r.scenario.Track),
+			"controller": string(r.scenario.Controller),
+			"attack":     string(r.scenario.Attack),
+			"seed":       fmt.Sprintf("%d", r.scenario.Seed),
+			"guarded":    fmt.Sprintf("%v", r.scenario.Guarded),
+		},
+		Violations: r.Violations,
+		Trace:      r.Sim.Trace,
+		Frames:     r.Sim.Frames,
+		Attack:     attack,
+		Obs:        r.scenario.Obs,
+		Hypotheses: r.Hypotheses,
+		HalfWindow: halfWindow,
 	})
 }
 
@@ -383,6 +467,8 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 		RecordFrames: s.RecordFrames,
 		Localizer:    s.Localizer,
 		Obs:          s.Obs,
+		Events:       s.Events,
+		EventScope:   s.EventScope,
 	}
 	if s.Guarded {
 		cfg.Guard = sim.GuardConfig{Enabled: true, AssertionTrigger: true}
@@ -397,6 +483,9 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 		Violations: vs,
 		Hypotheses: diagnosis.Diagnose(vs),
 		scenario:   s,
+	}
+	if s.Events != nil && len(vs) > 0 {
+		diagnosis.RecordHypotheses(s.Events, s.EventScope, res.SimTime, out.Hypotheses, 3)
 	}
 	if s.RecordFrames {
 		out.Recording = &Recording{
@@ -436,6 +525,12 @@ type BatchOptions struct {
 	// does not already carry its own registry, aggregating sim and monitor
 	// metrics across the batch. The registry is goroutine-safe.
 	Obs *Registry
+	// Events, when non-nil, records the runner's per-worker job spans and
+	// is attached to every scenario that does not already carry its own
+	// recorder; such scenarios get track scope "s<index>/" so their
+	// timelines stay distinct on the shared recorder. The recorder is
+	// goroutine-safe.
+	Events *EventRecorder
 	// Progress, when non-nil, receives (done, total) after each scenario.
 	Progress func(done, total int)
 }
@@ -448,10 +543,15 @@ func RunScenarioBatch(opts BatchOptions, scenarios []Scenario) ([]*ScenarioResul
 		Context:    opts.Context,
 		OnProgress: opts.Progress,
 		Obs:        opts.Obs,
+		Events:     opts.Events,
 	}, scenarios,
-		func(_ context.Context, _ int, s Scenario) (*ScenarioResult, error) {
+		func(_ context.Context, i int, s Scenario) (*ScenarioResult, error) {
 			if s.Obs == nil {
 				s.Obs = opts.Obs
+			}
+			if s.Events == nil && opts.Events != nil {
+				s.Events = opts.Events
+				s.EventScope = fmt.Sprintf("s%d/", i)
 			}
 			return s.Run()
 		})

@@ -20,12 +20,21 @@
 // job stats, sim step histograms, per-assertion monitoring cost), and
 // -pprof addr serves net/http/pprof plus the live snapshot under expvar.
 // Attaching the registry never changes the rendered tables.
+//
+// Forensics: -events out.json records the structured event timeline of
+// every scenario the experiments fan out (tracks scoped per grid cell,
+// plus one runner lane per pool worker) and writes it as JSON; -perfetto
+// out.json exports the same timeline as Chrome trace-event JSON loadable
+// in ui.perfetto.dev; -flight N bounds the recorder to the newest N
+// events; -bundles dir/ writes one forensic bundle per violation episode
+// of every attacked grid cell. None of these change the rendered tables.
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -82,11 +91,22 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size")
 		metricsOut = flag.String("metrics", "", "write a JSON runtime-metrics snapshot (sim/monitor/runner) to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		eventsOut  = flag.String("events", "", "write the structured event timeline as JSON to this file")
+		perfOut    = flag.String("perfetto", "", "write the event timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		flightCap  = flag.Int("flight", 0, "flight-recorder mode: keep only the newest N events (0 = unbounded)")
+		bundleDir  = flag.String("bundles", "", "write one forensic bundle JSON per violation episode into this directory")
 	)
 	flag.Parse()
 
 	reg := startObs(*metricsOut, *pprofAddr)
-	opts := adassure.ExperimentOptions{Seeds: *seeds, Quick: *quick, Controller: *controller, Workers: *workers, Obs: reg}
+	var rec *adassure.EventRecorder
+	if *eventsOut != "" || *perfOut != "" {
+		rec = adassure.NewEventRecorder(*flightCap)
+	}
+	opts := adassure.ExperimentOptions{
+		Seeds: *seeds, Quick: *quick, Controller: *controller, Workers: *workers,
+		Obs: reg, Events: rec, BundleDir: *bundleDir,
+	}
 
 	run := func(eid string) {
 		start := time.Now()
@@ -110,4 +130,34 @@ func main() {
 		}
 	}
 	writeMetrics(reg, *metricsOut)
+	writeEventOutputs(rec, *eventsOut, *perfOut)
+}
+
+// writeEventOutputs persists the recorded timeline: raw event JSON to
+// eventsPath and/or a Perfetto-loadable Chrome trace to perfettoPath.
+func writeEventOutputs(rec *adassure.EventRecorder, eventsPath, perfettoPath string) {
+	if rec == nil {
+		return
+	}
+	write := func(path, what string, fn func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adassure-bench: write %s: %v\n", what, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(eventsPath, "events", rec.WriteJSON)
+	write(perfettoPath, "perfetto trace", func(f io.Writer) error {
+		return adassure.WritePerfetto(f, rec.Events())
+	})
 }

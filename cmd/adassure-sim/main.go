@@ -17,15 +17,26 @@
 // stats; see the README "Observability" section), and -pprof addr serves
 // net/http/pprof plus the live snapshot under expvar for the lifetime of
 // the process.
+//
+// Forensics: -events out.json records the structured event timeline
+// (scenario span, attack window, violation episodes, guard fallback) and
+// writes it as JSON; -perfetto out.json exports the same timeline as
+// Chrome trace-event JSON loadable in ui.perfetto.dev; -flight N bounds
+// the recorder to the newest N events; -bundles dir/ writes one forensic
+// bundle per violation episode (trace slice, frames, attack state, eval
+// history, diagnosis) into the directory. Inspect any of these files with
+// adassure-trace events|perfetto|bundle.
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"adassure"
@@ -69,6 +80,68 @@ func writeMetrics(reg *adassure.Registry, path string) {
 	fmt.Printf("metrics written to %s\n", path)
 }
 
+// writeEventOutputs persists the recorded timeline: raw event JSON to
+// eventsPath and/or a Perfetto-loadable Chrome trace to perfettoPath.
+func writeEventOutputs(rec *adassure.EventRecorder, eventsPath, perfettoPath string) {
+	if rec == nil {
+		return
+	}
+	write := func(path, what string, fn func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adassure-sim: write %s: %v\n", what, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(eventsPath, "events", rec.WriteJSON)
+	write(perfettoPath, "perfetto trace", func(f io.Writer) error {
+		return adassure.WritePerfetto(f, rec.Events())
+	})
+}
+
+// writeBundles emits one forensic bundle per violation episode of the run
+// into dir, filenames prefixed to keep multi-seed sweeps collision-free.
+// Returns the number of bundles written.
+func writeBundles(out *adassure.ScenarioResult, dir, prefix string) int {
+	if dir == "" {
+		return 0
+	}
+	bundles := out.ForensicBundles(0)
+	if len(bundles) == 0 {
+		return 0
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-sim: create bundle dir:", err)
+		os.Exit(1)
+	}
+	for i := range bundles {
+		b := &bundles[i]
+		path := filepath.Join(dir, prefix+b.Filename())
+		f, err := os.Create(path)
+		if err == nil {
+			err = b.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-sim: write bundle:", err)
+			os.Exit(1)
+		}
+	}
+	return len(bundles)
+}
+
 func main() {
 	var (
 		trackName  = flag.String("track", "urban-loop", "track: straight|circle|s-curve|figure-eight|double-lane-change|urban-loop|hairpin")
@@ -90,6 +163,10 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scenario-execution pool size for -seeds > 1")
 		metricsOut = flag.String("metrics", "", "write a JSON runtime-metrics snapshot (sim/monitor/runner) to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		eventsOut  = flag.String("events", "", "write the structured event timeline as JSON to this file")
+		perfOut    = flag.String("perfetto", "", "write the event timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		flightCap  = flag.Int("flight", 0, "flight-recorder mode: keep only the newest N events (0 = unbounded)")
+		bundleDir  = flag.String("bundles", "", "write one forensic bundle JSON per violation episode into this directory")
 	)
 	flag.Parse()
 
@@ -105,6 +182,15 @@ func main() {
 	}
 
 	reg := startObs(*metricsOut, *pprofAddr)
+	// Bundles need the frame stream around each violation, and carry the
+	// assertion eval history when a registry is attached — force both on.
+	if *bundleDir != "" && reg == nil {
+		reg = adassure.NewRegistry()
+	}
+	var rec *adassure.EventRecorder
+	if *eventsOut != "" || *perfOut != "" {
+		rec = adassure.NewEventRecorder(*flightCap)
+	}
 	scn := adassure.Scenario{
 		Track:          adassure.TrackName(*trackName),
 		Controller:     adassure.ControllerName(*controller),
@@ -116,7 +202,7 @@ func main() {
 		SpeedLimit:     *speedLimit,
 		Guarded:        *guard,
 		ThresholdScale: *scale,
-		RecordFrames:   *recordOut != "",
+		RecordFrames:   *recordOut != "" || *bundleDir != "",
 	}
 
 	if *seedCount > 1 {
@@ -124,14 +210,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adassure-sim: file outputs (-trace/-json/-report/-record) apply to single-seed runs only")
 			os.Exit(1)
 		}
-		runSweep(scn, *seedCount, *workers, reg)
+		runSweep(scn, *seedCount, *workers, reg, rec, *bundleDir)
 		writeMetrics(reg, *metricsOut)
+		writeEventOutputs(rec, *eventsOut, *perfOut)
 		return
 	}
 
 	// Single runs still go through the scenario runner so the snapshot
 	// carries runner job stats alongside the sim/monitor metrics.
-	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: 1, Obs: reg}, []adassure.Scenario{scn})
+	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: 1, Obs: reg, Events: rec}, []adassure.Scenario{scn})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
 		os.Exit(1)
@@ -210,22 +297,35 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *traceJSON)
 	}
+	if n := writeBundles(out, *bundleDir, ""); n > 0 {
+		fmt.Printf("%d forensic bundle(s) written to %s\n", n, *bundleDir)
+	} else if *bundleDir != "" {
+		fmt.Println("no violations: no forensic bundles written")
+	}
 	writeMetrics(reg, *metricsOut)
+	writeEventOutputs(rec, *eventsOut, *perfOut)
 }
 
 // runSweep repeats the scenario for n consecutive seeds across the worker
 // pool and prints a per-seed detection summary. Results are seed-ordered
 // and identical to running each seed on its own.
-func runSweep(scn adassure.Scenario, n, workers int, reg *adassure.Registry) {
+func runSweep(scn adassure.Scenario, n, workers int, reg *adassure.Registry, rec *adassure.EventRecorder, bundleDir string) {
 	scns := make([]adassure.Scenario, n)
 	for i := range scns {
 		scns[i] = scn
 		scns[i].Seed = scn.Seed + int64(i)
 	}
-	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: workers, Obs: reg}, scns)
+	outs, err := adassure.RunScenarioBatch(adassure.BatchOptions{Workers: workers, Obs: reg, Events: rec}, scns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adassure-sim:", err)
 		os.Exit(1)
+	}
+	if bundleDir != "" {
+		total := 0
+		for i, out := range outs {
+			total += writeBundles(out, bundleDir, fmt.Sprintf("seed%d_", scns[i].Seed))
+		}
+		fmt.Printf("%d forensic bundle(s) written to %s\n", total, bundleDir)
 	}
 
 	fmt.Printf("sweep: track=%s controller=%s attack=%s seeds=%d..%d guard=%v workers=%d\n\n",

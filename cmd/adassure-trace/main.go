@@ -1,58 +1,134 @@
-// Command adassure-trace inspects recorded run traces: it lists the
-// signals of a JSON trace with summary statistics, or converts it to CSV.
+// Command adassure-trace inspects the debugging artifacts ADAssure runs
+// produce: signal traces, structured event timelines and forensic
+// bundles.
 //
 // Usage:
 //
-//	adassure-trace stats run.json
-//	adassure-trace csv run.json > run.csv
+//	adassure-trace stats run.json          # signal summary statistics
+//	adassure-trace csv run.json > run.csv  # trace as CSV
+//	adassure-trace events run-events.json  # plain-text event timeline
+//	adassure-trace bundle bundle_000_*.json  # pretty-print one bundle
+//	adassure-trace perfetto run-events.json > trace.json  # Chrome trace JSON
+//
+// Every subcommand accepts "-" as the file argument to read from stdin,
+// e.g. piping an events file straight out of adassure-sim:
+//
+//	adassure-sim -attack gnss-drift-spoof -events /dev/stdout | adassure-trace events -
+//
+// Exit status: 0 on success, 1 on file-read or parse errors, 2 on bad
+// invocation (unknown subcommand or wrong argument count).
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
+	"adassure"
 	"adassure/internal/trace"
 )
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adassure-trace (stats|csv) <trace.json>")
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func main() {
-	if len(os.Args) != 3 {
-		usage()
+// run is the testable entry point: it executes one subcommand against the
+// given streams and returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: adassure-trace (stats|csv|events|bundle|perfetto) <file.json | ->")
+		return 2
 	}
-	mode, path := os.Args[1], os.Args[2]
+	if len(args) != 2 {
+		return usage()
+	}
+	mode, path := args[0], args[1]
 
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adassure-trace:", err)
-		os.Exit(1)
-	}
-	tr, err := trace.ReadJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adassure-trace:", err)
-		os.Exit(1)
-	}
-
+	var cmd func(io.Reader, io.Writer) error
 	switch mode {
 	case "stats":
-		fmt.Printf("%-16s %8s %12s %12s %12s %12s\n", "signal", "samples", "min", "max", "mean", "rms")
-		for _, sig := range tr.Signals() {
-			st := tr.SignalStats(sig)
-			fmt.Printf("%-16s %8d %12.4f %12.4f %12.4f %12.4f\n",
-				sig, st.Count, st.Min, st.Max, st.Mean, st.RMS)
-		}
+		cmd = runStats
 	case "csv":
-		if err := tr.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "adassure-trace:", err)
-			os.Exit(1)
-		}
+		cmd = runCSV
+	case "events":
+		cmd = runEvents
+	case "bundle":
+		cmd = runBundle
+	case "perfetto":
+		cmd = runPerfetto
 	default:
-		usage()
+		return usage()
 	}
+
+	in := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "adassure-trace:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := cmd(in, stdout); err != nil {
+		fmt.Fprintln(stderr, "adassure-trace:", err)
+		return 1
+	}
+	return 0
+}
+
+// runStats lists the signals of a JSON trace with summary statistics.
+func runStats(in io.Reader, out io.Writer) error {
+	tr, err := trace.ReadJSON(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-16s %8s %12s %12s %12s %12s\n", "signal", "samples", "min", "max", "mean", "rms")
+	for _, sig := range tr.Signals() {
+		st := tr.SignalStats(sig)
+		fmt.Fprintf(out, "%-16s %8d %12.4f %12.4f %12.4f %12.4f\n",
+			sig, st.Count, st.Min, st.Max, st.Mean, st.RMS)
+	}
+	return nil
+}
+
+// runCSV converts a JSON trace to CSV.
+func runCSV(in io.Reader, out io.Writer) error {
+	tr, err := trace.ReadJSON(in)
+	if err != nil {
+		return err
+	}
+	return tr.WriteCSV(out)
+}
+
+// runEvents renders an events file as a plain-text timeline.
+func runEvents(in io.Reader, out io.Writer) error {
+	log, err := adassure.ReadEventLog(in)
+	if err != nil {
+		return err
+	}
+	if log.Dropped > 0 {
+		fmt.Fprintf(out, "flight recorder: %d older event(s) dropped (capacity %d)\n",
+			log.Dropped, log.Capacity)
+	}
+	return adassure.WriteEventTimeline(out, log.Events)
+}
+
+// runBundle pretty-prints one forensic bundle.
+func runBundle(in io.Reader, out io.Writer) error {
+	b, err := adassure.ReadForensicBundle(in)
+	if err != nil {
+		return err
+	}
+	return b.Render(out)
+}
+
+// runPerfetto converts an events file to Chrome trace-event JSON for
+// ui.perfetto.dev / chrome://tracing.
+func runPerfetto(in io.Reader, out io.Writer) error {
+	log, err := adassure.ReadEventLog(in)
+	if err != nil {
+		return err
+	}
+	return adassure.WritePerfetto(out, log.Events)
 }

@@ -117,6 +117,23 @@ func (c Campaign) Name() string {
 	return "clean"
 }
 
+// ActiveWindow returns the activation window of the campaign's single
+// attack; ok is false for a clean campaign. The simulation engine uses it
+// to emit attack begin/end events onto the run's timeline.
+func (c Campaign) ActiveWindow() (Window, bool) {
+	switch {
+	case c.GNSS != nil:
+		return c.GNSS.Window(), true
+	case c.IMU != nil:
+		return c.IMU.Window(), true
+	case c.Odom != nil:
+		return c.Odom.Window(), true
+	case c.Actuator != nil:
+		return c.Actuator.Window(), true
+	}
+	return Window{}, false
+}
+
 // Onset returns the activation time of the campaign's attack, or -1 for a
 // clean campaign.
 func (c Campaign) Onset() float64 {

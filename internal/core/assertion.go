@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"adassure/internal/events"
 	"adassure/internal/obs"
 )
 
@@ -159,6 +160,11 @@ type Monitor struct {
 	framesCtr  *obs.Counter
 	skippedCtr *obs.Counter
 	violCtr    *obs.Counter
+
+	// Event timeline (nil recorder = no recording, the default). Episodes
+	// appear as spans on track "<scope>assertion/<ID>".
+	events  *events.Recorder
+	evScope string
 }
 
 // NewMonitor builds an empty monitor.
@@ -189,6 +195,34 @@ func (e *monitored) attach(r *obs.Registry) {
 	e.evalNS = r.Histogram("monitor." + e.a.ID() + ".eval_ns")
 	e.evals = r.Counter("monitor." + e.a.ID() + ".evals")
 	e.raised = r.Counter("monitor." + e.a.ID() + ".violations")
+}
+
+// AttachEvents wires the monitor to an event recorder: every violation
+// episode becomes a span on track "<scope>assertion/<ID>" — opened at the
+// debounced raise, closed when the window runs fully clean (or by
+// FinishEvents at end of run). The scope prefix keeps tracks distinct
+// when many scenarios share one recorder. AttachEvents(nil, "") detaches;
+// a detached monitor pays one nil check per episode transition, nothing
+// per frame.
+func (m *Monitor) AttachEvents(rec *events.Recorder, scope string) *Monitor {
+	m.events = rec
+	m.evScope = scope
+	return m
+}
+
+// FinishEvents closes the event spans of episodes still open at end of
+// run, stamping them with the final timestamp and an open=1 attribute so
+// the timeline distinguishes "cleared" from "still failing at cutoff".
+func (m *Monitor) FinishEvents(t float64) {
+	if m.events == nil {
+		return
+	}
+	for _, e := range m.entries {
+		if e.inEpisode {
+			m.events.End(events.CatViolation, m.evScope+"assertion/"+e.a.ID(),
+				e.a.ID()+" "+e.a.Name(), t, map[string]float64{"open": 1})
+		}
+	}
 }
 
 // Add registers an assertion under a debounce policy. It returns the
@@ -273,6 +307,13 @@ func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
 		})
 		e.raised.Inc()
 		m.violCtr.Inc()
+		if m.events != nil {
+			m.events.Begin(events.CatViolation, m.evScope+"assertion/"+e.a.ID(),
+				e.a.ID()+" "+e.a.Name(), f.T, map[string]float64{
+					"first_breach": e.firstBreach,
+					"severity":     float64(e.a.Severity()),
+				})
+		}
 	case e.inEpisode && fails == 0 && filled == e.deb.N:
 		// Window fully clean: episode over; re-arm.
 		e.inEpisode = false
@@ -280,6 +321,10 @@ func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
 		if e.openIdx >= 0 {
 			m.violations[e.openIdx].Duration = f.T - m.violations[e.openIdx].T
 			e.openIdx = -1
+		}
+		if m.events != nil {
+			m.events.End(events.CatViolation, m.evScope+"assertion/"+e.a.ID(),
+				e.a.ID()+" "+e.a.Name(), f.T, nil)
 		}
 	case !e.inEpisode && fails == 0:
 		e.firstBreach = -1

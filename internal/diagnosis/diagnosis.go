@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"adassure/internal/core"
+	"adassure/internal/events"
 )
 
 // Cause identifies a diagnosed root cause. The attack causes match the
@@ -339,6 +340,24 @@ func (r rule) score(sig Signature) float64 {
 		}
 	}
 	return s
+}
+
+// RecordHypotheses emits the top-ranked hypotheses onto an event
+// timeline as instants at time t on track "<scope>diagnosis" — one per
+// hypothesis, carrying its rank and confidence — so the diagnosis sits on
+// the same timeline as the violations it explains. A nil recorder is a
+// no-op.
+func RecordHypotheses(rec *events.Recorder, scope string, t float64, hyps []Hypothesis, topN int) {
+	if rec == nil || len(hyps) == 0 {
+		return
+	}
+	if topN <= 0 || topN > len(hyps) {
+		topN = len(hyps)
+	}
+	for i, h := range hyps[:topN] {
+		rec.Instant(events.CatDiagnosis, scope+"diagnosis", string(h.Cause), t,
+			map[string]float64{"rank": float64(i + 1), "confidence": h.Confidence})
+	}
 }
 
 // Report renders a human-readable debugging report for a violation record:

@@ -1,0 +1,82 @@
+package diagnosis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adassure/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden from the current output")
+
+// goldenRecords are fixed synthetic violation records with recognisable
+// attack signatures, so the full Report rendering — timeline, signature
+// line, ranked hypotheses with confidences and rationales — is locked
+// byte-for-byte. The records are hand-written rather than simulated so
+// this suite pins the *renderer and ranking*, independent of simulator
+// drift (the harness golden suite covers the end-to-end path).
+func goldenRecords() map[string][]core.Violation {
+	v := func(id, name string, sev core.Severity, t, breach, dur float64, msg string) core.Violation {
+		return core.Violation{
+			AssertionID: id, Name: name, Severity: sev,
+			T: t, FirstBreach: breach, Duration: dur, Message: msg,
+		}
+	}
+	return map[string][]core.Violation{
+		"empty": nil,
+		"drift_spoof": {
+			v("A13", "heading-reference", core.Critical, 26.50, 26.35, 15.65,
+				"A13: EMA|fused heading - IMU heading| <= 0.050 rad (4 of last 5 frames failing)"),
+			v("A12", "safety-envelope", core.Critical, 27.80, 27.70, 11.35,
+				"A12: |true CTE| <= 3.00 m (2 of last 3 frames failing)"),
+			v("A2", "cross-track-bound", core.Critical, 50.20, 50.05, 0,
+				"A2: |estimated CTE| <= 1.50 m (3 of last 4 frames failing)"),
+		},
+		"step_spoof": {
+			v("A1", "position-jump", core.Critical, 20.05, 20.05, 0.10,
+				"A1: GNSS jump implies 42.0 m/s >> speed envelope"),
+			v("A10", "innovation-gate", core.Warning, 20.10, 20.05, 1.05,
+				"A10: NIS 51.2 > gate 9.21 (3 of last 4 frames failing)"),
+			v("A2", "cross-track-bound", core.Critical, 20.40, 20.25, 5.00,
+				"A2: |estimated CTE| <= 1.50 m (3 of last 4 frames failing)"),
+		},
+		"sensor_freeze": {
+			v("A5", "gnss-freshness", core.Warning, 31.00, 30.55, 0,
+				"A5: GNSS age 0.55 s > 0.50 s"),
+			v("A6", "stale-repeat", core.Warning, 31.50, 31.00, 0,
+				"A6: identical fix repeated 10 times"),
+		},
+	}
+}
+
+// TestGoldenReport locks diagnosis.Report's full rendering to committed
+// snapshots. Regenerate after an intentional change with:
+//
+//	go test ./internal/diagnosis -run TestGoldenReport -update
+func TestGoldenReport(t *testing.T) {
+	for name, vs := range goldenRecords() {
+		t.Run(name, func(t *testing.T) {
+			got := Report(vs, 3)
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("report_%s.txt", name))
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package events_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adassure"
+	"adassure/internal/events"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden from the current output")
+
+// t4Run executes one cell of the T4 diagnosis-accuracy grid — drift spoof
+// on the urban loop under pure pursuit, seed 1, quick duration — with a
+// deterministic (wall-clock-free) recorder attached, and returns the
+// recorded stream.
+func t4Run(t *testing.T) []events.Event {
+	t.Helper()
+	rec := adassure.NewEventRecorder(0).WithoutWallClock()
+	scn := adassure.Scenario{
+		Track:      adassure.TrackUrbanLoop,
+		Controller: adassure.ControllerPurePursuit,
+		Attack:     adassure.AttackDriftSpoof,
+		Seed:       1,
+		Duration:   55,
+		Events:     rec,
+	}
+	if _, err := scn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// TestGoldenTimelineT4 locks the plain-text timeline render of the T4 run
+// to a committed snapshot — the event-layer counterpart of the harness
+// golden suite. Regenerate after an intentional behaviour change with:
+//
+//	go test ./internal/events -run TestGoldenTimelineT4 -update
+func TestGoldenTimelineT4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := events.WriteTimeline(&buf, t4Run(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "timeline_T4.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.String(), want)
+	}
+}
+
+// TestRunStreamProperties checks the structural invariants of a real
+// recorded run: per track, Begin/End episodes are well nested (depth never
+// negative, all spans eventually closed) and simulation timestamps are
+// monotone in capture order.
+func TestRunStreamProperties(t *testing.T) {
+	evs := t4Run(t)
+	if len(evs) == 0 {
+		t.Fatal("run recorded no events")
+	}
+
+	depth := map[string]int{}
+	lastT := map[string]float64{}
+	sawViolation := false
+	for i, e := range evs {
+		if e.Cat == events.CatViolation {
+			sawViolation = true
+		}
+		switch e.Kind {
+		case events.Begin:
+			depth[e.Track]++
+		case events.End:
+			depth[e.Track]--
+			if depth[e.Track] < 0 {
+				t.Fatalf("event %d: End without Begin on track %q", i, e.Track)
+			}
+		}
+		if e.T != events.NoSimTime {
+			if prev, ok := lastT[e.Track]; ok && e.T < prev {
+				t.Fatalf("event %d: sim time regressed on track %q: %.3f after %.3f", i, e.Track, e.T, prev)
+			}
+			lastT[e.Track] = e.T
+		}
+	}
+	for track, d := range depth {
+		if d != 0 {
+			t.Errorf("track %q: %d unclosed spans at end of run", track, d)
+		}
+	}
+	if !sawViolation {
+		t.Error("attacked T4 run recorded no violation episodes")
+	}
+
+	// Whole-stream sequence monotonicity (capture order preserved).
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d", i)
+		}
+	}
+}
+
+// TestFlightRecorderOnRealRun re-runs T4 through a small ring and checks
+// the flight-recorder contract against the unbounded stream: the ring
+// holds exactly the newest events.
+func TestFlightRecorderOnRealRun(t *testing.T) {
+	full := t4Run(t)
+	const capacity = 8
+	ring := adassure.NewEventRecorder(capacity).WithoutWallClock()
+	scn := adassure.Scenario{
+		Track:      adassure.TrackUrbanLoop,
+		Controller: adassure.ControllerPurePursuit,
+		Attack:     adassure.AttackDriftSpoof,
+		Seed:       1,
+		Duration:   55,
+		Events:     ring,
+	}
+	if _, err := scn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := ring.Events()
+	if len(got) != capacity {
+		t.Fatalf("ring retained %d events, want %d", len(got), capacity)
+	}
+	want := full[len(full)-capacity:]
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Name != want[i].Name || got[i].T != want[i].T {
+			t.Fatalf("ring[%d] = %+v, want newest-window event %+v", i, got[i], want[i])
+		}
+	}
+	if int(ring.Dropped()) != len(full)-capacity {
+		t.Errorf("Dropped() = %d, want %d", ring.Dropped(), len(full)-capacity)
+	}
+}

@@ -1,0 +1,71 @@
+package events
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTimeline renders an event stream as a plain-text timeline for the
+// harness and the adassure-trace CLI: one line per event, sim-time
+// ordered, with kind markers (▶ begin, ■ end, ● instant) and the numeric
+// attributes inline. Wall-clock stamps are deliberately omitted so the
+// render of a deterministic run is itself deterministic (golden-testable).
+func WriteTimeline(w io.Writer, evs []Event) error {
+	sorted := make([]Event, len(evs))
+	copy(sorted, evs)
+	SortForTimeline(sorted)
+
+	trackW, nameW := len("track"), 0
+	for _, e := range sorted {
+		if len(e.Track) > trackW {
+			trackW = len(e.Track)
+		}
+		if len(e.Name) > nameW {
+			nameW = len(e.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "event timeline (%d events)\n", len(sorted)); err != nil {
+		return err
+	}
+	for _, e := range sorted {
+		marker := "●"
+		switch e.Kind {
+		case Begin:
+			marker = "▶"
+		case End:
+			marker = "■"
+		}
+		ts := "   wall    "
+		if e.T >= 0 {
+			ts = fmt.Sprintf("t=%8.2fs", e.T)
+		}
+		line := fmt.Sprintf("  %s  %s %-7s [%-9s] %-*s  %-*s",
+			ts, marker, e.Kind, e.Cat, trackW, e.Track, nameW, e.Name)
+		if attrs := formatAttrs(e.Attrs); attrs != "" {
+			line += "  " + attrs
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatAttrs renders the attribute map deterministically (sorted keys).
+func formatAttrs(attrs map[string]float64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.4g", k, attrs[k])
+	}
+	return strings.Join(parts, " ")
+}

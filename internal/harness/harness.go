@@ -14,10 +14,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"adassure/internal/attacks"
 	"adassure/internal/core"
+	"adassure/internal/events"
+	"adassure/internal/forensics"
 	"adassure/internal/obs"
 	"adassure/internal/runner"
 	"adassure/internal/sim"
@@ -110,6 +114,17 @@ type Options struct {
 	// measures on its own private registry so its reported numbers are not
 	// polluted by (and do not pollute) the shared one.
 	Obs *obs.Registry
+	// Events, when non-nil, records the structured event timeline of every
+	// scenario an experiment fans out (scenario lifecycle, attack windows,
+	// violation episodes, guard intervals) plus the runner's per-worker job
+	// spans. Tracks are scoped "<class>/<controller>/s<seed>/" so the cells
+	// of a grid stay distinct on one shared recorder. Like Obs, attaching a
+	// recorder never changes the rendered tables.
+	Events *events.Recorder
+	// BundleDir, when non-empty, writes one forensic bundle JSON per
+	// violation episode of every campaign cell into the directory (created
+	// on demand), named <class>_<controller>_seed<seed>[_guard]_<bundle>.
+	BundleDir string
 }
 
 func (o *Options) defaults() {
@@ -141,6 +156,10 @@ func campaignRun(o Options, tr *track.Track, class attacks.Class, controller str
 	if err != nil {
 		return nil, nil, err
 	}
+	cellID := fmt.Sprintf("%s_%s_seed%d", class, controller, seed)
+	if guard.Enabled {
+		cellID += "_guard"
+	}
 	mon := core.NewCatalogMonitor(core.CatalogConfig{IncludeGroundTruth: true})
 	res, err := sim.Run(sim.Config{
 		Track:        tr,
@@ -153,11 +172,66 @@ func campaignRun(o Options, tr *track.Track, class attacks.Class, controller str
 		Guard:        guard,
 		DisableTrace: false,
 		Obs:          o.Obs,
+		Events:       o.Events,
+		EventScope:   cellID + "/",
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.BundleDir != "" {
+		if err := writeCellBundles(o, tr, camp, cellID, controller, seed, res); err != nil {
+			return nil, nil, err
+		}
+	}
 	return res, mon, nil
+}
+
+// writeCellBundles emits the forensic bundles of one campaign cell into
+// Options.BundleDir. Filenames embed the cell ID plus the bundle's own
+// canonical name, so concurrent grid workers never collide and the same
+// cell re-run by a later experiment overwrites deterministically.
+func writeCellBundles(o Options, tr *track.Track, camp attacks.Campaign, cellID, controller string, seed int64, res *sim.Result) error {
+	if len(res.Violations) == 0 {
+		return nil
+	}
+	var attack *forensics.AttackInfo
+	if win, ok := camp.ActiveWindow(); ok {
+		attack = &forensics.AttackInfo{
+			Name: camp.Name(), Class: string(camp.Class()),
+			Start: win.Start, End: win.End,
+		}
+	}
+	bundles := forensics.Build(forensics.Input{
+		Scenario: map[string]string{
+			"track":      tr.Name(),
+			"controller": controller,
+			"attack":     string(camp.Class()),
+			"seed":       fmt.Sprintf("%d", seed),
+		},
+		Violations: res.Violations,
+		Trace:      res.Trace,
+		Frames:     res.Frames,
+		Attack:     attack,
+		Obs:        o.Obs,
+	})
+	if err := os.MkdirAll(o.BundleDir, 0o755); err != nil {
+		return fmt.Errorf("harness: create bundle dir: %w", err)
+	}
+	for i := range bundles {
+		b := &bundles[i]
+		path := filepath.Join(o.BundleDir, cellID+"_"+b.Filename())
+		f, err := os.Create(path)
+		if err == nil {
+			err = b.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("harness: write bundle: %w", err)
+		}
+	}
+	return nil
 }
 
 // urbanTrack builds the workhorse scenario route.
@@ -170,7 +244,7 @@ func urbanTrack() (*track.Track, error) { return track.UrbanLoop(6) }
 // inside the job; the only values shared across goroutines are immutable
 // (the track and the options).
 func grid[I, O any](o Options, jobs []I, fn func(I) (O, error)) ([]O, error) {
-	return runner.Map(runner.Options{Workers: o.Workers, OnProgress: o.Progress, Obs: o.Obs}, jobs,
+	return runner.Map(runner.Options{Workers: o.Workers, OnProgress: o.Progress, Obs: o.Obs, Events: o.Events}, jobs,
 		func(_ context.Context, _ int, j I) (O, error) { return fn(j) })
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adassure/internal/events"
 	"adassure/internal/obs"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// before a worker picked it up (dispatch time minus pool start). The
 	// registry is shared safely across workers.
 	Obs *obs.Registry
+	// Events, when non-nil, receives one wall-clock span per job on track
+	// "runner/worker-<w>" — one timeline lane per pool worker, failed jobs
+	// flagged with failed=1. The recorder is shared safely across workers;
+	// nil adds nothing to the dispatch path.
+	Events *events.Recorder
 }
 
 func (o *Options) defaults() {
@@ -157,8 +163,12 @@ func Run[O any](opts Options, n int, fn func(ctx context.Context, index int) (O,
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var workerTrack string
+			if opts.Events != nil {
+				workerTrack = fmt.Sprintf("runner/worker-%d", w)
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -173,9 +183,21 @@ func Run[O any](opts Options, n int, fn func(ctx context.Context, index int) (O,
 					jobStart = time.Now()
 					queueNS.Observe(jobStart.Sub(poolStart).Nanoseconds())
 				}
+				if opts.Events != nil {
+					opts.Events.Begin(events.CatRunner, workerTrack,
+						fmt.Sprintf("job %d", i), events.NoSimTime, nil)
+				}
 				err := runOne(i)
 				if opts.Obs != nil {
 					jobNS.Observe(time.Since(jobStart).Nanoseconds())
+				}
+				if opts.Events != nil {
+					var attrs map[string]float64
+					if err != nil {
+						attrs = map[string]float64{"failed": 1}
+					}
+					opts.Events.End(events.CatRunner, workerTrack,
+						fmt.Sprintf("job %d", i), events.NoSimTime, attrs)
 				}
 				if err != nil {
 					failed.Inc()
@@ -191,7 +213,7 @@ func Run[O any](opts Options, n int, fn func(ctx context.Context, index int) (O,
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -13,6 +13,7 @@ import (
 	"adassure/internal/attacks"
 	"adassure/internal/control"
 	"adassure/internal/core"
+	"adassure/internal/events"
 	"adassure/internal/fusion"
 	"adassure/internal/geom"
 	"adassure/internal/obs"
@@ -127,6 +128,15 @@ type Config struct {
 	// RecordTrace enables full signal recording (default true via Run; the
 	// benchmark harness disables it for overhead-free timing).
 	DisableTrace bool
+	// Events, when non-nil, receives the run's structured event timeline:
+	// the scenario lifecycle span, the attack activation window, guard
+	// fallback intervals, termination instants and — via
+	// Monitor.AttachEvents — every violation episode. A nil recorder adds
+	// no measurable overhead (single nil checks on the control path).
+	Events *events.Recorder
+	// EventScope prefixes every event track this run emits (e.g. "s3/"),
+	// keeping tracks distinct when concurrent runs share one recorder.
+	EventScope string
 }
 
 func (c *Config) defaults() error {
@@ -281,6 +291,22 @@ func Run(cfg Config) (*Result, error) {
 		lastStepClock = wallStart
 	}
 
+	// Event timeline: the scenario span opens at t=0; attack-window and
+	// guard-fallback transitions are emitted as the control loop crosses
+	// them, so the recorded boundaries reflect what the run actually
+	// executed (an aborted run closes its spans at the abort instant).
+	ev := cfg.Events
+	scenarioName := cfg.Controller + " on " + cfg.Track.Name()
+	attackWin, hasAttack := cfg.Campaign.ActiveWindow()
+	attackOpen, guardOpen := false, false
+	if ev != nil {
+		ev.Begin(events.CatScenario, cfg.EventScope+"scenario", scenarioName, 0,
+			map[string]float64{"seed": float64(cfg.Seed), "duration": cfg.Duration})
+		if cfg.Monitor != nil {
+			cfg.Monitor.AttachEvents(ev, cfg.EventScope)
+		}
+	}
+
 	// Derived-GNSS state: the receiver-style course/speed over ground are
 	// computed from the displacement across a ~1 s baseline of delivered
 	// fixes, which keeps the white position noise from dominating the
@@ -427,6 +453,28 @@ func Run(cfg Config) (*Result, error) {
 			seenViolations = len(cfg.Monitor.Violations())
 		}
 
+		if ev != nil {
+			if hasAttack {
+				if active := attackWin.Contains(t); active != attackOpen {
+					attackOpen = active
+					if active {
+						ev.Begin(events.CatAttack, cfg.EventScope+"attack", cfg.Campaign.Name(), t,
+							map[string]float64{"start": attackWin.Start, "end": attackWin.End})
+					} else {
+						ev.End(events.CatAttack, cfg.EventScope+"attack", cfg.Campaign.Name(), t, nil)
+					}
+				}
+			}
+			if guardOpen != inFallback {
+				guardOpen = inFallback
+				if inFallback {
+					ev.Begin(events.CatGuard, cfg.EventScope+"guard", "dead-reckoning fallback", t, nil)
+				} else {
+					ev.End(events.CatGuard, cfg.EventScope+"guard", "dead-reckoning fallback", t, nil)
+				}
+			}
+		}
+
 		est := ekf.Estimate()
 		if inFallback {
 			est = dr.Estimate()
@@ -565,6 +613,31 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Monitor != nil {
 		res.Violations = cfg.Monitor.Violations()
+	}
+	if ev != nil {
+		t := res.SimTime
+		if attackOpen {
+			ev.End(events.CatAttack, cfg.EventScope+"attack", cfg.Campaign.Name(), t,
+				map[string]float64{"truncated": 1})
+		}
+		if guardOpen {
+			ev.End(events.CatGuard, cfg.EventScope+"guard", "dead-reckoning fallback", t,
+				map[string]float64{"truncated": 1})
+		}
+		if cfg.Monitor != nil {
+			cfg.Monitor.FinishEvents(t)
+		}
+		if res.Diverged {
+			ev.Instant(events.CatScenario, cfg.EventScope+"scenario", "diverged", t, nil)
+		}
+		if res.Finished {
+			ev.Instant(events.CatScenario, cfg.EventScope+"scenario", "finished", t, nil)
+		}
+		ev.End(events.CatScenario, cfg.EventScope+"scenario", scenarioName, t, map[string]float64{
+			"steps":        float64(res.Steps),
+			"max_true_cte": res.MaxTrueCTE,
+			"violations":   float64(len(res.Violations)),
+		})
 	}
 	if cfg.Obs != nil {
 		if elapsed := time.Since(wallStart).Seconds(); elapsed > 0 {

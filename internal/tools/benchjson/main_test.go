@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: adassure
+cpu: some CPU @ 2.40GHz
+BenchmarkSimCleanRun-8   	     100	  11223344 ns/op	  524288 B/op	    1024 allocs/op
+BenchmarkNilRegistry-8   	1000000000	         0.2504 ns/op	       0 B/op	       0 allocs/op
+--- BENCH: BenchmarkWeird
+    some log output
+BenchmarkNoMem-8         	    5000	    240000 ns/op
+PASS
+ok  	adassure	12.345s
+pkg: adassure/internal/obs
+BenchmarkCounterInc-8    	50000000	        21.5 ns/op	       0 B/op	       0 allocs/op
+ok  	adassure/internal/obs	1.234s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+
+	first := got[0]
+	if first.Name != "BenchmarkSimCleanRun" {
+		t.Errorf("name = %q, want BenchmarkSimCleanRun (GOMAXPROCS suffix stripped)", first.Name)
+	}
+	if first.Package != "adassure" {
+		t.Errorf("package = %q, want adassure", first.Package)
+	}
+	if first.Iterations != 100 || first.NsPerOp != 11223344 || first.BytesPerOp != 524288 || first.AllocsPerOp != 1024 {
+		t.Errorf("unexpected first result: %+v", first)
+	}
+
+	if got[1].NsPerOp != 0.2504 || got[1].AllocsPerOp != 0 {
+		t.Errorf("fractional ns/op not parsed: %+v", got[1])
+	}
+
+	if got[2].Name != "BenchmarkNoMem" || got[2].BytesPerOp != 0 {
+		t.Errorf("memless line not parsed: %+v", got[2])
+	}
+
+	if got[3].Package != "adassure/internal/obs" {
+		t.Errorf("pkg header not tracked: %+v", got[3])
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	got, err := Parse(strings.NewReader("hello\nBenchmarkBroken-8 notanumber 5 ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no results from malformed input, got %+v", got)
+	}
+}

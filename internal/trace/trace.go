@@ -188,17 +188,58 @@ func (tr *Trace) unionTimes() []float64 {
 	return times
 }
 
+// Slice returns a new trace holding, for every signal, only the samples
+// with T in the closed interval [t0, t1] — the evidence-window extraction
+// behind forensic bundles. Signals with no samples in the window are
+// omitted; the originals are never aliased.
+func (tr *Trace) Slice(t0, t1 float64) *Trace {
+	out := New()
+	for _, sig := range tr.order {
+		ss := tr.signals[sig]
+		lo := sort.Search(len(ss), func(i int) bool { return ss[i].T >= t0 })
+		hi := sort.Search(len(ss), func(i int) bool { return ss[i].T > t1 })
+		for _, s := range ss[lo:hi] {
+			out.MustRecord(sig, s.T, s.Value)
+		}
+	}
+	return out
+}
+
 // jsonTrace is the serialised form.
 type jsonTrace struct {
 	Signals map[string][]Sample `json:"signals"`
 	Order   []string            `json:"order"`
 }
 
+// MarshalJSON serialises the trace, so a *Trace can embed directly in
+// larger artifacts (forensic bundles).
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTrace{Signals: tr.signals, Order: tr.order})
+}
+
+// UnmarshalJSON parses a serialised trace, validating per-signal time
+// monotonicity so a corrupted file fails loudly.
+func (tr *Trace) UnmarshalJSON(b []byte) error {
+	var jt jsonTrace
+	if err := json.Unmarshal(b, &jt); err != nil {
+		return fmt.Errorf("trace: decode json: %w", err)
+	}
+	*tr = *New()
+	for _, name := range jt.Order {
+		for _, s := range jt.Signals[name] {
+			if err := tr.Record(name, s.T, s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteJSON serialises the trace.
 func (tr *Trace) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(jsonTrace{Signals: tr.signals, Order: tr.order}); err != nil {
+	if err := enc.Encode(tr); err != nil {
 		return fmt.Errorf("trace: encode json: %w", err)
 	}
 	return nil
@@ -206,21 +247,9 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 
 // ReadJSON parses a trace previously written by WriteJSON.
 func ReadJSON(r io.Reader) (*Trace, error) {
-	var jt jsonTrace
-	if err := json.NewDecoder(r).Decode(&jt); err != nil {
-		return nil, fmt.Errorf("trace: decode json: %w", err)
-	}
 	tr := New()
-	if jt.Signals == nil {
-		jt.Signals = map[string][]Sample{}
-	}
-	// Validate monotonicity on load so a corrupted file fails loudly.
-	for _, name := range jt.Order {
-		for _, s := range jt.Signals[name] {
-			if err := tr.Record(name, s.T, s.Value); err != nil {
-				return nil, err
-			}
-		}
+	if err := json.NewDecoder(r).Decode(tr); err != nil {
+		return nil, err
 	}
 	return tr, nil
 }
