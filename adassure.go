@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"adassure/internal/attacks"
 	"adassure/internal/core"
@@ -315,6 +316,11 @@ type Scenario struct {
 	// keeping tracks distinct when several scenarios share one recorder;
 	// RunScenarioBatch assigns per-index scopes automatically.
 	EventScope string
+	// Assertions, when non-empty, restricts the monitor to the named
+	// catalog assertion IDs (e.g. "A1", "A3", "A12"); unknown IDs are an
+	// error. Empty (the default) loads the full catalog. Used by the
+	// serving layer's per-request catalog selection.
+	Assertions []string
 }
 
 // Outcome of a Scenario run.
@@ -406,6 +412,13 @@ func (r *ScenarioResult) Detected(after float64) bool {
 
 // Run executes the scenario.
 func (s Scenario) Run() (*ScenarioResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the scenario under ctx: cancelling it (or hitting
+// its deadline) aborts the simulation within one control step and returns
+// an error wrapping ctx.Err(). nil means context.Background().
+func (s Scenario) RunContext(ctx context.Context) (*ScenarioResult, error) {
 	if s.Track == "" {
 		s.Track = TrackUrbanLoop
 	}
@@ -453,11 +466,15 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 		}
 	}
 
-	mon := core.NewCatalogMonitor(core.CatalogConfig{
+	mon, err := buildCatalogMonitor(core.CatalogConfig{
 		ThresholdScale:     s.ThresholdScale,
 		IncludeGroundTruth: true,
-	})
+	}, s.Assertions)
+	if err != nil {
+		return nil, err
+	}
 	cfg := sim.Config{
+		Context:      ctx,
 		Track:        tr,
 		Controller:   string(s.Controller),
 		Seed:         s.Seed,
@@ -500,6 +517,43 @@ func (s Scenario) Run() (*ScenarioResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// buildCatalogMonitor loads the built-in catalog, optionally restricted
+// to an explicit assertion-ID subset. IDs are matched against the catalog
+// the config produces, so requesting e.g. "A12" without ground truth
+// enabled is an error rather than a silent no-op.
+func buildCatalogMonitor(cfg CatalogConfig, ids []string) (*Monitor, error) {
+	entries := core.NewCatalog(cfg)
+	if len(ids) == 0 {
+		m := core.NewMonitor()
+		for _, e := range entries {
+			m.Add(e.Assertion, e.Debounce)
+		}
+		return m, nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	// Add in catalog order so the evaluation order — and therefore the
+	// violation record — is independent of how the caller listed the IDs.
+	m := core.NewMonitor()
+	for _, e := range entries {
+		if want[e.Assertion.ID()] {
+			m.Add(e.Assertion, e.Debounce)
+			delete(want, e.Assertion.ID())
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("adassure: unknown catalog assertion(s) %v", unknown)
+	}
+	return m, nil
 }
 
 // RunScenarios executes independent scenarios concurrently across a
@@ -545,7 +599,7 @@ func RunScenarioBatch(opts BatchOptions, scenarios []Scenario) ([]*ScenarioResul
 		Obs:        opts.Obs,
 		Events:     opts.Events,
 	}, scenarios,
-		func(_ context.Context, i int, s Scenario) (*ScenarioResult, error) {
+		func(ctx context.Context, i int, s Scenario) (*ScenarioResult, error) {
 			if s.Obs == nil {
 				s.Obs = opts.Obs
 			}
@@ -553,7 +607,10 @@ func RunScenarioBatch(opts BatchOptions, scenarios []Scenario) ([]*ScenarioResul
 				s.Events = opts.Events
 				s.EventScope = fmt.Sprintf("s%d/", i)
 			}
-			return s.Run()
+			// The pool context reaches the simulator, so cancelling the
+			// batch aborts in-flight simulations, not just undispatched
+			// ones.
+			return s.RunContext(ctx)
 		})
 }
 

@@ -1,0 +1,104 @@
+// Command adassure-load drives an adassure-server with N concurrent
+// scenario requests and prints throughput plus the client-observed
+// latency distribution (p50/p95/p99 from the obs histogram).
+//
+// Usage:
+//
+//	adassure-load -target http://localhost:8080 [-n 100] [-c 8]
+//	    [-attack gnss-drift-spoof] [-duration 20] [-spread-seeds 0]
+//	    [-backoff] [-metrics out.json]
+//
+// With -spread-seeds 0 (the default) every request is identical, so
+// after the first simulation the run measures the cache-hit/coalescing
+// hot path. -spread-seeds K cycles the seed over K values, forcing K
+// distinct simulations and exercising the pool + backpressure instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adassure/internal/obs"
+	"adassure/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr *os.File) error {
+	fs := flag.NewFlagSet("adassure-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "http://localhost:8080", "server base URL")
+		n           = fs.Int("n", 100, "total requests")
+		conc        = fs.Int("c", 8, "concurrent in-flight requests")
+		track       = fs.String("track", "urban-loop", "route name")
+		controller  = fs.String("controller", "pure-pursuit", "lateral controller")
+		attack      = fs.String("attack", "gnss-drift-spoof", "attack class (none for clean runs)")
+		duration    = fs.Float64("duration", 20, "simulated seconds per request")
+		guarded     = fs.Bool("guard", false, "run the defended stack")
+		spreadSeeds = fs.Int("spread-seeds", 0, "cycle the seed over K values to force cache misses (0 = identical requests)")
+		backoff     = fs.Bool("backoff", false, "honour 429 Retry-After hints instead of recording and moving on")
+		metricsPath = fs.String("metrics", "", "write the client-side metrics snapshot to this file")
+		timeout     = fs.Duration("timeout", 10*time.Minute, "overall load-run budget")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := service.NewClient(*target)
+	if err := client.Healthz(ctx); err != nil {
+		return fmt.Errorf("target %s not healthy: %w", *target, err)
+	}
+
+	reg := obs.NewRegistry()
+	base := service.Request{
+		Track:      *track,
+		Controller: *controller,
+		Attack:     *attack,
+		Duration:   *duration,
+		Guarded:    *guarded,
+	}
+	fmt.Fprintf(stderr, "adassure-load: %d requests x %d in flight against %s\n", *n, *conc, *target)
+	report, err := service.RunLoad(ctx, client, base, service.LoadOptions{
+		Requests:    *n,
+		Concurrency: *conc,
+		SpreadSeeds: *spreadSeeds,
+		Backoff:     *backoff,
+		Obs:         reg,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(stdout)
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
+	}
+	return nil
+}

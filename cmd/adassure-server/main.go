@@ -1,0 +1,129 @@
+// Command adassure-server exposes the ADAssure scenario-execution engine
+// over HTTP/JSON. Clients POST scenario requests (attack class, window,
+// seed, assertion-catalog selection) to /v1/run and receive the full
+// evidence chain: run summary, violation record, ranked diagnosis
+// hypotheses and — on request — per-episode forensic bundles.
+//
+// Because every run is deterministic in its canonicalized request, the
+// server front-ends the worker pool with a content-addressed result
+// cache (canonical request hash → response bytes, LRU bounded by
+// -cache-bytes) plus single-flight coalescing, so repeated or concurrent
+// identical requests cost exactly one simulation. When the bounded
+// admission queue is full the server sheds load with 429 + Retry-After
+// instead of queueing unboundedly.
+//
+// Usage:
+//
+//	adassure-server [-addr :8080] [-workers N] [-queue N]
+//	    [-cache-bytes 67108864] [-timeout 60s] [-max-duration 600]
+//	    [-retry-after 1s] [-pprof] [-metrics out.json]
+//
+// Endpoints: POST /v1/run, GET /v1/catalog, GET /healthz, GET /metrics,
+// and GET /debug/pprof (with -pprof). SIGINT/SIGTERM trigger a graceful
+// shutdown: the listener stops accepting, in-flight simulations drain
+// (up to -drain-timeout), and with -metrics a final registry snapshot is
+// written on exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adassure/internal/obs"
+	"adassure/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "adassure-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus process exit, so tests can drive the full lifecycle.
+func run(argv []string, stdout, stderr *os.File) error {
+	fs := flag.NewFlagSet("adassure-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "simulation workers (default GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "admission queue depth (default 2x workers)")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "result cache cap in bytes (negative disables)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request simulation budget")
+		maxDuration  = fs.Float64("max-duration", 600, "max simulated seconds per request (negative disables)")
+		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
+		metricsPath  = fs.String("metrics", "", "write a final metrics snapshot to this file on shutdown")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheBytes:  *cacheBytes,
+		Timeout:     *timeout,
+		MaxDuration: *maxDuration,
+		RetryAfter:  *retryAfter,
+		Obs:         reg,
+		EnablePprof: *pprofOn,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "adassure-server listening on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "adassure-server: %s, draining (up to %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Shutdown order: stop accepting first, then drain the simulation
+	// pool so every admitted request still gets its response.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "adassure-server: http shutdown:", err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		fmt.Fprintln(stderr, "adassure-server: drain:", err)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(reg, *metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
+	}
+	return nil
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return f.Close()
+}

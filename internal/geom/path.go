@@ -199,7 +199,10 @@ func (p *Polyline) Project(q Vec2) (s, lateral float64) {
 			bestLat = math.Copysign(math.Sqrt(d2), ab.Cross(q.Sub(a)))
 		}
 	}
-	return bestS, bestLat
+	// cum[] is a running sum while the projection recomputes the final
+	// segment length with Sqrt; at t=1 they can disagree by one ULP, so
+	// clamp to keep the documented s ∈ [0, Length] contract exact.
+	return Clamp(bestS, 0, p.Length()), bestLat
 }
 
 // Resample returns a new polyline with vertices spaced ds apart along the

@@ -72,7 +72,9 @@ func (p *Polyline) ProjectRange(q Vec2, s0, s1 float64) (s, lateral float64) {
 	if math.IsInf(bestD2, 1) {
 		return p.Project(q)
 	}
-	return bestS, bestLat
+	// Same one-ULP guard as Project: the summed cum[] and the recomputed
+	// segment Sqrt can land bestS marginally past Length().
+	return Clamp(bestS, 0, L), bestLat
 }
 
 // ProjectRange implements RangeProjector for splines via the lattice.

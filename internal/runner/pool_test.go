@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adassure/internal/obs"
+)
+
+// TestPoolExecutesAllAdmitted: every successfully admitted job runs
+// exactly once, and Close drains the queue before returning.
+func TestPoolExecutesAllAdmitted(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 4, QueueDepth: 64})
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		err := p.TrySubmit(context.Background(), func(context.Context) {
+			ran.Add(1)
+		}, nil)
+		if err == nil {
+			admitted++
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != int64(admitted) {
+		t.Fatalf("admitted %d jobs, ran %d", admitted, got)
+	}
+}
+
+// TestPoolQueueFull: with workers wedged and the queue at capacity,
+// TrySubmit sheds load immediately instead of blocking.
+func TestPoolQueueFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 2, Obs: reg})
+	release := make(chan struct{})
+	var wedge sync.WaitGroup
+	wedge.Add(1)
+	// Wedge the single worker.
+	if err := p.TrySubmit(context.Background(), func(context.Context) {
+		wedge.Done()
+		<-release
+	}, nil); err != nil {
+		t.Fatalf("wedge submit: %v", err)
+	}
+	wedge.Wait() // worker is now busy; the queue is empty
+	for i := 0; i < 2; i++ {
+		if err := p.TrySubmit(context.Background(), func(context.Context) { <-release }, nil); err != nil {
+			t.Fatalf("fill submit %d: %v", i, err)
+		}
+	}
+	start := time.Now()
+	err := p.TrySubmit(context.Background(), func(context.Context) {}, nil)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("TrySubmit blocked instead of failing fast")
+	}
+	if got := reg.Counter("runner.pool.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	close(release)
+	p.Close()
+	if got := reg.Counter("runner.pool.completed").Value(); got != 3 {
+		t.Fatalf("completed counter = %d, want 3", got)
+	}
+}
+
+// TestPoolClosedRejects: admission after Close fails with ErrPoolClosed.
+func TestPoolClosedRejects(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	p.Close()
+	if err := p.TrySubmit(context.Background(), func(context.Context) {}, nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolPanicIsolation: a panicking job is recovered, reported through
+// OnPanic, counted, and the worker survives to run later jobs.
+func TestPoolPanicIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 8, Obs: reg})
+	panicked := make(chan any, 1)
+	if err := p.TrySubmit(context.Background(), func(context.Context) {
+		panic("boom")
+	}, func(r any) { panicked <- r }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var ran atomic.Bool
+	if err := p.TrySubmit(context.Background(), func(context.Context) { ran.Store(true) }, nil); err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	p.Close()
+	select {
+	case r := <-panicked:
+		if r == nil {
+			t.Fatal("OnPanic got nil")
+		}
+	default:
+		t.Fatal("OnPanic was not invoked")
+	}
+	if !ran.Load() {
+		t.Fatal("worker died after panic: follow-up job never ran")
+	}
+	if got := reg.Counter("runner.pool.panics").Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+}
+
+// TestPoolJobContext: the submit-time context reaches the job unchanged,
+// so per-request deadlines propagate.
+func TestPoolJobContext(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sawCancelled := make(chan bool, 1)
+	if err := p.TrySubmit(ctx, func(ctx context.Context) {
+		sawCancelled <- ctx.Err() != nil
+	}, nil); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !<-sawCancelled {
+		t.Fatal("job context lost its cancellation")
+	}
+}
+
+// TestPoolConcurrentSubmitClose hammers admission from many goroutines
+// racing Close — run under -race this is the data-race gate for the
+// serving path.
+func TestPoolConcurrentSubmitClose(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 4, QueueDepth: 16})
+	var ran, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := p.TrySubmit(context.Background(), func(context.Context) { ran.Add(1) }, nil); err == nil {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("admitted %d, ran %d", admitted.Load(), ran.Load())
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"adassure/internal/obs"
+)
+
+// TestCacheLRUEvictionUnderByteCap: entries are evicted oldest-recency
+// first, exactly when the charged byte total exceeds the cap.
+func TestCacheLRUEvictionUnderByteCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	body := bytes.Repeat([]byte("x"), 1000)
+	perEntry := int64(len(body)) + int64(len("k0")) + entryOverhead
+	c := newResultCache(3*perEntry, reg) // room for exactly 3 entries
+
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), body)
+	}
+	if c.len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.len())
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.put("k3", body)
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s was evicted, want it retained", k)
+		}
+	}
+	if got := reg.Counter("service.cache.evictions").Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if c.sizeBytes() > 3*perEntry {
+		t.Fatalf("charged bytes %d exceed cap %d", c.sizeBytes(), 3*perEntry)
+	}
+}
+
+// TestCacheOversizedBodyNotCached: a body that alone exceeds the cap is
+// served but never stored.
+func TestCacheOversizedBodyNotCached(t *testing.T) {
+	c := newResultCache(512, obs.NewRegistry())
+	c.put("big", bytes.Repeat([]byte("x"), 4096))
+	if c.len() != 0 {
+		t.Fatal("oversized body was cached")
+	}
+}
+
+// TestCacheRefreshSameKey: re-putting a key replaces the body and does
+// not leak charged bytes.
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newResultCache(1<<20, obs.NewRegistry())
+	c.put("k", []byte("first"))
+	c.put("k", []byte("second-and-longer"))
+	got, ok := c.get("k")
+	if !ok || string(got) != "second-and-longer" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	want := int64(len("second-and-longer")) + int64(len("k")) + entryOverhead
+	if c.sizeBytes() != want {
+		t.Fatalf("charged bytes %d, want %d", c.sizeBytes(), want)
+	}
+}
+
+// TestCacheDisabled: a non-positive cap disables storage entirely.
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, obs.NewRegistry())
+	c.put("k", []byte("body"))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+// TestCacheCounters: hits and misses are attributed correctly.
+func TestCacheCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(1<<20, reg)
+	c.get("absent")
+	c.put("k", []byte("body"))
+	c.get("k")
+	c.get("k")
+	if got := reg.Counter("service.cache.hits").Value(); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+	if got := reg.Counter("service.cache.misses").Value(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+// TestCacheConcurrentAccess hammers get/put from many goroutines — the
+// -race gate for the serving hot path.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newResultCache(16<<10, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := bytes.Repeat([]byte{byte('a' + g)}, 128)
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if got, ok := c.get(key); ok && len(got) != 128 {
+					t.Errorf("corrupt body length %d", len(got))
+					return
+				}
+				c.put(key, body)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFlightGroupCoalesces: followers joining before finish receive the
+// leader's bytes; after forget, a new leader starts.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	c1, leader := g.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	c2, leader2 := g.join("k")
+	if leader2 || c2 != c1 {
+		t.Fatal("second join must follow the same call")
+	}
+
+	var wg sync.WaitGroup
+	const followers = 8
+	results := make([][]byte, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-c1.done
+			results[i] = c1.body
+		}(i)
+	}
+	g.forget("k")
+	c1.finish([]byte("payload"), 200, nil)
+	wg.Wait()
+	for i, b := range results {
+		if string(b) != "payload" {
+			t.Fatalf("follower %d got %q", i, b)
+		}
+	}
+	if _, leader := g.join("k"); !leader {
+		t.Fatal("join after forget must start a fresh call")
+	}
+}

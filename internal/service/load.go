@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adassure/internal/obs"
+)
+
+// LoadOptions configures RunLoad.
+type LoadOptions struct {
+	// Requests is the total request count (default 100).
+	Requests int
+	// Concurrency is the number of in-flight requests (default 8).
+	Concurrency int
+	// SpreadSeeds cycles the request seed over this many values, forcing
+	// cache misses; 0 sends the identical request every time (pure
+	// cache-hit / coalescing load).
+	SpreadSeeds int
+	// Backoff, when true, honours 429 Retry-After hints by sleeping and
+	// retrying (each retry counts as a new request towards Requests);
+	// false records the rejection and moves on.
+	Backoff bool
+	// Obs, when non-nil, receives the client-side latency histogram
+	// (load.request_ns) and outcome counters; nil uses a private
+	// registry. The report always reads from it.
+	Obs *obs.Registry
+}
+
+// LoadReport summarises one load run. Latency quantiles come from the
+// obs histogram that collected every request's wall time.
+type LoadReport struct {
+	Requests  int64
+	Errors    int64
+	QueueFull int64
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Elapsed   time.Duration
+	// Throughput is completed (non-error) requests per second.
+	Throughput float64
+	// Latency is the client-observed request latency distribution.
+	Latency obs.HistogramSummary
+}
+
+// RunLoad drives the server with opts.Concurrency workers until
+// opts.Requests requests have completed, and reports throughput plus the
+// latency distribution. It is the measurement loop behind adassure-load.
+func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*LoadReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		latNS     = reg.Histogram("load.request_ns")
+		okCtr     = reg.Counter("load.ok")
+		errCtr    = reg.Counter("load.errors")
+		fullCtr   = reg.Counter("load.queue_full")
+		hitCtr    = reg.Counter("load.cache_hits")
+		missCtr   = reg.Counter("load.cache_misses")
+		coalCtr   = reg.Counter("load.coalesced")
+		next      atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		completed atomic.Int64
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Requests) || ctx.Err() != nil {
+					return
+				}
+				req := base
+				if opts.SpreadSeeds > 0 {
+					if req.Seed == 0 {
+						req.Seed = 1
+					}
+					req.Seed += i % int64(opts.SpreadSeeds)
+				}
+				t0 := time.Now()
+				_, info, err := c.Run(ctx, req)
+				latNS.Observe(time.Since(t0).Nanoseconds())
+				completed.Add(1)
+				var qf *QueueFullError
+				switch {
+				case errors.As(err, &qf):
+					fullCtr.Inc()
+					if opts.Backoff {
+						select {
+						case <-time.After(qf.RetryAfter):
+						case <-ctx.Done():
+							return
+						}
+					}
+				case err != nil:
+					errCtr.Inc()
+					errOnce.Do(func() { firstErr = err })
+				default:
+					okCtr.Inc()
+					switch info.Cache {
+					case "hit":
+						hitCtr.Inc()
+					case "miss":
+						missCtr.Inc()
+					case "coalesced":
+						coalCtr.Inc()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:  completed.Load(),
+		Errors:    errCtr.Value(),
+		QueueFull: fullCtr.Value(),
+		Hits:      hitCtr.Value(),
+		Misses:    missCtr.Value(),
+		Coalesced: coalCtr.Value(),
+		Elapsed:   elapsed,
+		Latency:   latNS.Summary(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(okCtr.Value()) / secs
+	}
+	if rep.Requests > 0 && rep.Errors == rep.Requests {
+		// Every request failed the same way (server down, bad target):
+		// surface the cause instead of an all-zero report.
+		return rep, fmt.Errorf("service: load run failed entirely: %w", firstErr)
+	}
+	return rep, nil
+}
+
+// Print renders the report as the human-readable table adassure-load
+// emits.
+func (r *LoadReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "requests    %d (ok %d, errors %d, queue-full %d)\n",
+		r.Requests, r.Requests-r.Errors-r.QueueFull, r.Errors, r.QueueFull)
+	fmt.Fprintf(w, "cache       hit %d / miss %d / coalesced %d\n", r.Hits, r.Misses, r.Coalesced)
+	fmt.Fprintf(w, "elapsed     %.2f s\n", r.Elapsed.Seconds())
+	fmt.Fprintf(w, "throughput  %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(w, "latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (mean %.2f ms, n=%d)\n",
+		r.Latency.P50/1e6, r.Latency.P95/1e6, r.Latency.P99/1e6, r.Latency.Mean/1e6, r.Latency.Count)
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"adassure"
+	"adassure/internal/forensics"
+)
+
+// ResponseSchema pins the response wire format.
+const ResponseSchema = "adassure/run/v1"
+
+// Response is the evidence chain of one scenario execution: the run
+// summary, the monitor's violation record, the ranked diagnosis and —
+// when requested — the per-episode forensic bundles. The body is built
+// deterministically from the simulation output, so a cached response is
+// byte-identical to a fresh one.
+type Response struct {
+	Schema string `json:"schema"`
+	// Request echoes the canonicalized request the response answers.
+	Request Request `json:"request"`
+	// Key is the content address of the request (the cache key).
+	Key        string            `json:"key"`
+	Summary    RunSummary        `json:"summary"`
+	Violations []Violation       `json:"violations,omitempty"`
+	Hypotheses []Hypothesis      `json:"hypotheses,omitempty"`
+	Bundles    []forensics.Bundle `json:"bundles,omitempty"`
+}
+
+// RunSummary condenses the simulation outcome.
+type RunSummary struct {
+	SimTime       float64 `json:"sim_time"`
+	Steps         int     `json:"steps"`
+	MaxTrueCTE    float64 `json:"max_true_cte"`
+	RMSTrueCTE    float64 `json:"rms_true_cte"`
+	MaxEstCTE     float64 `json:"max_est_cte"`
+	ProgressTotal float64 `json:"progress_total"`
+	Laps          int     `json:"laps"`
+	Finished      bool    `json:"finished,omitempty"`
+	Diverged      bool    `json:"diverged,omitempty"`
+	FallbackTime  float64 `json:"fallback_time,omitempty"`
+	// Detected reports whether any violation was raised at or after the
+	// attack onset (always false for clean runs).
+	Detected bool `json:"detected"`
+	// DetectionLatency is seconds from attack onset to the first
+	// post-onset violation (absent when not detected).
+	DetectionLatency float64 `json:"detection_latency,omitempty"`
+}
+
+// Violation is the wire form of one raised assertion episode.
+type Violation struct {
+	AssertionID string             `json:"assertion_id"`
+	Name        string             `json:"name"`
+	Severity    string             `json:"severity"`
+	T           float64            `json:"t"`
+	FirstBreach float64            `json:"first_breach"`
+	Duration    float64            `json:"duration,omitempty"`
+	Message     string             `json:"message"`
+	Evidence    map[string]float64 `json:"evidence,omitempty"`
+}
+
+// Hypothesis is the wire form of one ranked root-cause candidate.
+type Hypothesis struct {
+	Cause      string  `json:"cause"`
+	Confidence float64 `json:"confidence"`
+	Rationale  string  `json:"rationale"`
+}
+
+// buildResponse assembles the response for a completed run and marshals
+// it once; the returned bytes are what the cache stores and every waiter
+// receives.
+func buildResponse(req Request, out *adassure.ScenarioResult) ([]byte, error) {
+	resp := Response{
+		Schema:  ResponseSchema,
+		Request: req,
+		Key:     req.Key(),
+		Summary: RunSummary{
+			SimTime:       out.Sim.SimTime,
+			Steps:         out.Sim.Steps,
+			MaxTrueCTE:    out.Sim.MaxTrueCTE,
+			RMSTrueCTE:    out.Sim.RMSTrueCTE,
+			MaxEstCTE:     out.Sim.MaxEstCTE,
+			ProgressTotal: out.Sim.ProgressTotal,
+			Laps:          out.Sim.Laps,
+			Finished:      out.Sim.Finished,
+			Diverged:      out.Sim.Diverged,
+			FallbackTime:  out.Sim.FallbackTime,
+		},
+	}
+	if req.Attack != "none" {
+		for _, v := range out.Violations {
+			if v.T >= req.AttackStart {
+				resp.Summary.Detected = true
+				resp.Summary.DetectionLatency = v.T - req.AttackStart
+				break
+			}
+		}
+	}
+	for _, v := range out.Violations {
+		resp.Violations = append(resp.Violations, Violation{
+			AssertionID: v.AssertionID,
+			Name:        v.Name,
+			Severity:    v.Severity.String(),
+			T:           v.T,
+			FirstBreach: v.FirstBreach,
+			Duration:    v.Duration,
+			Message:     v.Message,
+			Evidence:    sanitizeEvidence(v.Evidence),
+		})
+	}
+	for _, h := range out.Hypotheses {
+		resp.Hypotheses = append(resp.Hypotheses, Hypothesis{
+			Cause:      string(h.Cause),
+			Confidence: h.Confidence,
+			Rationale:  h.Rationale,
+		})
+	}
+	if req.Bundles {
+		resp.Bundles = buildBundles(req, out)
+	}
+	return json.Marshal(&resp)
+}
+
+// buildBundles assembles the per-episode forensic bundles directly (not
+// via ScenarioResult.ForensicBundles): the served variant deliberately
+// omits the obs-registry eval history, which is wall-clock data of the
+// process rather than of the request — including it would make cached
+// and fresh responses differ byte-wise and break cache soundness. All
+// remaining sections (trace slice, frames, attack state, hypotheses) are
+// deterministic in the request.
+func buildBundles(req Request, out *adassure.ScenarioResult) []forensics.Bundle {
+	var attack *forensics.AttackInfo
+	if req.Attack != "none" {
+		attack = &forensics.AttackInfo{
+			Name:  req.Attack,
+			Class: req.Attack,
+			Start: req.AttackStart,
+			End:   req.AttackEnd,
+		}
+	}
+	return forensics.Build(forensics.Input{
+		Scenario: map[string]string{
+			"track":      req.Track,
+			"controller": req.Controller,
+			"attack":     req.Attack,
+			"seed":       fmt.Sprintf("%d", req.Seed),
+			"guarded":    fmt.Sprintf("%v", req.Guarded),
+		},
+		Violations: out.Violations,
+		Trace:      out.Sim.Trace,
+		Frames:     out.Sim.Frames,
+		Attack:     attack,
+		Hypotheses: out.Hypotheses,
+		HalfWindow: req.BundleHalfWindow,
+	})
+}
+
+// sanitizeEvidence clamps ±Inf thresholds (one-sided assertion bounds
+// snapshot them) to ±MaxFloat64 and drops NaN entries, mirroring the
+// forensic-bundle treatment — encoding/json rejects non-finite values.
+func sanitizeEvidence(ev map[string]float64) map[string]float64 {
+	if len(ev) == 0 {
+		return nil
+	}
+	cp := make(map[string]float64, len(ev))
+	for k, v := range ev {
+		switch {
+		case math.IsNaN(v):
+		case math.IsInf(v, 1):
+			cp[k] = math.MaxFloat64
+		case math.IsInf(v, -1):
+			cp[k] = -math.MaxFloat64
+		default:
+			cp[k] = v
+		}
+	}
+	return cp
+}

@@ -1,0 +1,374 @@
+// Package service is the scenario-execution service of the repo: an
+// HTTP/JSON layer that accepts scenario requests (attack class,
+// parameters, seed, assertion-catalog selection), executes them on a
+// bounded persistent worker pool (internal/runner.Pool) and returns the
+// full evidence chain — run summary, violations, ranked diagnosis
+// hypotheses and optional forensic bundles.
+//
+// Because every run is deterministic in its canonicalized request, the
+// service front-ends the pool with a content-addressed result cache
+// (canonical request hash → marshalled response, LRU bounded by bytes)
+// plus single-flight coalescing, so K concurrent identical requests cost
+// exactly one simulation and all receive byte-identical bodies. The
+// admission queue applies backpressure: when it is full the service
+// answers 429 with a Retry-After hint instead of blocking or queueing
+// unboundedly.
+//
+// Endpoints:
+//
+//	POST /v1/run      execute (or serve from cache) one scenario
+//	GET  /v1/catalog  enumerate tracks, controllers, attacks, assertions
+//	GET  /healthz     liveness + queue occupancy
+//	GET  /metrics     JSON snapshot of the obs registry
+//	GET  /debug/pprof net/http/pprof (when Config.EnablePprof)
+//
+// The X-Adassure-Cache response header reports how a /v1/run body was
+// produced: "miss" (fresh simulation), "hit" (served from cache) or
+// "coalesced" (attached to a concurrent identical run).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"adassure"
+	"adassure/internal/obs"
+	"adassure/internal/runner"
+)
+
+// CacheHeader is the response header reporting cache disposition.
+const CacheHeader = "X-Adassure-Cache"
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the simulation pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers). A full
+	// queue answers 429 + Retry-After.
+	QueueDepth int
+	// CacheBytes caps the result cache (default 64 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// Timeout is the per-request simulation budget, enforced end to end
+	// down to the simulator step loop (default 60s).
+	Timeout time.Duration
+	// MaxDuration caps the simulated seconds one request may ask for
+	// (default 600; negative disables the cap).
+	MaxDuration float64
+	// RetryAfter is the hint returned with 429 responses (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Obs, when non-nil, is the registry everything reports into —
+	// service counters, cache counters, pool metrics and per-run
+	// sim/monitor metrics. Nil builds a private registry (exposed via
+	// Registry and /metrics either way).
+	Obs *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the
+	// service mux.
+	EnablePprof bool
+}
+
+func (c *Config) defaults() {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 600
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+}
+
+// Server executes scenario requests. Build with New, mount Handler, and
+// Close on shutdown to drain in-flight simulations.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	pool   *runner.Pool
+	cache  *resultCache
+	flight *flightGroup
+	mux    *http.ServeMux
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	closed     atomic.Bool
+
+	requests  *obs.Counter
+	reqNS     *obs.Histogram
+	runNS     *obs.Histogram
+	coalesced *obs.Counter
+	shedded   *obs.Counter
+	timeouts  *obs.Counter
+	simErrors *obs.Counter
+	badReqs   *obs.Counter
+}
+
+// New builds and starts a server (its worker pool runs immediately).
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Obs,
+		cache:  newResultCache(cfg.CacheBytes, cfg.Obs),
+		flight: newFlightGroup(),
+
+		requests:  cfg.Obs.Counter("service.requests"),
+		reqNS:     cfg.Obs.Histogram("service.request_ns"),
+		runNS:     cfg.Obs.Histogram("service.run_ns"),
+		coalesced: cfg.Obs.Counter("service.cache.coalesced"),
+		shedded:   cfg.Obs.Counter("service.queue_full"),
+		timeouts:  cfg.Obs.Counter("service.timeouts"),
+		simErrors: cfg.Obs.Counter("service.sim_errors"),
+		badReqs:   cfg.Obs.Counter("service.bad_requests"),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.pool = runner.NewPool(runner.PoolOptions{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Obs:        cfg.Obs,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service mux, ready to mount on any http.Server
+// (or httptest.Server in tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close stops admission and drains in-flight simulations. If ctx expires
+// first, the base context is cancelled, which aborts running simulations
+// within one control step; Close still waits for the workers to observe
+// the cancellation before returning ctx.Err().
+func (s *Server) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		s.cancelBase() // force: abort in-flight simulations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// maxBodyBytes bounds a request document; canonical requests are a few
+// hundred bytes, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// errorBody renders the uniform JSON error envelope.
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return b
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// handleRun is the execution endpoint: decode → canonicalize → cache →
+// single-flight → pool → respond.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	tm := s.reqNS.Start()
+	defer tm.Stop()
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.badReqs.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody("decode request: "+err.Error()))
+		return
+	}
+	canon, err := req.Canonicalize(s.cfg.MaxDuration)
+	if err != nil {
+		s.badReqs.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody("invalid request: "+err.Error()))
+		return
+	}
+	key := canon.Key()
+
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set(CacheHeader, "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+
+	call, leader := s.flight.join(key)
+	disposition := "coalesced"
+	if leader {
+		disposition = "miss"
+		if err := s.submit(key, canon, call); err != nil {
+			// The leader could not start the run; everyone attached to
+			// this call (the leader and any follower that joined since)
+			// gets the same backpressure answer.
+			s.flight.forget(key)
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, runner.ErrQueueFull) {
+				status = http.StatusTooManyRequests
+				s.shedded.Inc()
+			}
+			call.finish(errorBody(err.Error()), status, err)
+		}
+	} else {
+		s.coalesced.Inc()
+	}
+
+	select {
+	case <-call.done:
+	case <-r.Context().Done():
+		// The client went away; the run (if any) continues and will fill
+		// the cache for the next asker.
+		return
+	}
+	if call.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	if call.status == http.StatusOK {
+		w.Header().Set(CacheHeader, disposition)
+	}
+	writeJSON(w, call.status, call.body)
+}
+
+// submit hands the run to the pool. On success the pool job owns the
+// call: it caches, forgets and finishes. On error the caller keeps
+// ownership.
+func (s *Server) submit(key string, req Request, call *flightCall) error {
+	if s.closed.Load() {
+		return fmt.Errorf("service: shutting down")
+	}
+	return s.pool.TrySubmit(s.baseCtx, func(ctx context.Context) {
+		s.execute(ctx, key, req, call)
+	}, func(recovered any) {
+		// Pool backstop: a panicking run must not strand the waiters.
+		s.simErrors.Inc()
+		s.flight.forget(key)
+		call.finish(errorBody(fmt.Sprint(recovered)), http.StatusInternalServerError, nil)
+	})
+}
+
+// execute runs one simulation under the per-request budget and publishes
+// the outcome to cache and waiters.
+func (s *Server) execute(ctx context.Context, key string, req Request, call *flightCall) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+
+	rt := s.runNS.Start()
+	scn := req.Scenario()
+	scn.Obs = s.reg // aggregate sim/monitor metrics across all runs
+	out, err := scn.RunContext(ctx)
+	rt.Stop()
+
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+			s.timeouts.Inc()
+		case errors.Is(err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		default:
+			s.simErrors.Inc()
+		}
+		s.flight.forget(key)
+		call.finish(errorBody("run scenario: "+err.Error()), status, err)
+		return
+	}
+	body, err := buildResponse(req, out)
+	if err != nil {
+		s.simErrors.Inc()
+		s.flight.forget(key)
+		call.finish(errorBody("encode response: "+err.Error()), http.StatusInternalServerError, err)
+		return
+	}
+	// Order matters: publish to the cache before forgetting the call, so
+	// a request arriving in between either joins the call or hits the
+	// cache — never starts a duplicate simulation.
+	s.cache.put(key, body)
+	s.flight.forget(key)
+	call.finish(body, http.StatusOK, nil)
+}
+
+// retryAfterSeconds rounds the configured hint up to whole seconds as the
+// Retry-After header requires.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// handleHealthz reports liveness and queue occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.closed.Load() {
+		status = "draining"
+	}
+	b, _ := json.Marshal(map[string]any{
+		"status":    status,
+		"queue_len": s.pool.QueueLen(),
+		"queue_cap": s.pool.Cap(),
+	})
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleMetrics serves the JSON snapshot of the obs registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleCatalog enumerates the accepted request vocabulary.
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	b, _ := json.Marshal(map[string]any{
+		"tracks":      validTracks,
+		"controllers": validControllers,
+		"attacks":     validAttacks(),
+		"localizers":  validLocalizers,
+		"assertions": adassure.NewCatalogMonitor(adassure.CatalogConfig{
+			IncludeGroundTruth: true,
+		}).AssertionIDs(),
+	})
+	writeJSON(w, http.StatusOK, b)
+}

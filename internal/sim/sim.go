@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -137,6 +138,12 @@ type Config struct {
 	// EventScope prefixes every event track this run emits (e.g. "s3/"),
 	// keeping tracks distinct when concurrent runs share one recorder.
 	EventScope string
+	// Context, when non-nil, cancels the run early: the step loop checks it
+	// once per control step (20 Hz of simulated time — microseconds of wall
+	// time) and aborts with an error wrapping ctx.Err(). This is how a
+	// serving layer's per-request timeout reaches the simulator without the
+	// loop having to finish the full Duration first.
+	Context context.Context
 }
 
 func (c *Config) defaults() error {
@@ -423,6 +430,14 @@ func Run(cfg Config) (*Result, error) {
 		// Control + monitoring at the control rate.
 		if step%controlEvery != 0 {
 			continue
+		}
+
+		// Cancellation gate: one cheap Err() call per control step keeps
+		// the abort latency under one control period of wall time.
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run cancelled at t=%.2f s: %w", t, err)
+			}
 		}
 
 		// Guard entry triggers.
