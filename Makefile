@@ -56,6 +56,7 @@ golden-update:
 fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzSplineProject -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mutate -run '^$$' -fuzz FuzzMutantSpec -fuzztime $(FUZZTIME)
 
 # Regenerate every evaluation table/figure (see EXPERIMENTS.md).
 tables:

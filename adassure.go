@@ -42,6 +42,7 @@ import (
 	"adassure/internal/forensics"
 	"adassure/internal/geom"
 	"adassure/internal/harness"
+	"adassure/internal/mutate"
 	"adassure/internal/obs"
 	"adassure/internal/offline"
 	"adassure/internal/report"
@@ -680,6 +681,41 @@ func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 func DefaultLimits(p VehicleParams) Limits {
 	return core.DefaultLimits(p.MaxSpeed, p.MaxLatAccel, p.MaxJerk, p.MaxSteer, p.MaxSteerRate, p.Wheelbase)
 }
+
+// Mutation-testing types (see internal/mutate): the engine that scores the
+// assertion catalog by which injected faults each assertion kills.
+type (
+	// MutantSpec identifies one mutant: an operator plus one parameter.
+	MutantSpec = mutate.Spec
+	// MutantKind classifies where a mutant interposes (controller, sensor,
+	// actuator).
+	MutantKind = mutate.Kind
+	// MutantScore aggregates one mutant's outcome across the campaign grid.
+	MutantScore = mutate.MutantScore
+	// MutationConfig describes one mutation campaign.
+	MutationConfig = mutate.Config
+	// MutationReport is a campaign outcome: kill matrix, per-mutant
+	// detection latency and the ranked surviving-mutant list.
+	MutationReport = mutate.Report
+)
+
+// RunMutationCampaign executes a mutation-testing campaign: one pristine
+// baseline per track, then exactly one mutant per run over the mutant ×
+// track grid, fanned across a worker pool. The report is deterministic in
+// the config for any worker count. The zero-value config runs the default
+// grid (DefaultMutantCatalog on urban-loop + hairpin, pure-pursuit,
+// seed 1, 60 s per run).
+func RunMutationCampaign(cfg MutationConfig) (*MutationReport, error) { return mutate.Run(cfg) }
+
+// DefaultMutantCatalog returns the default mutant grid: the identity
+// guard, every controller mutant, then the sensor/actuator fault models.
+func DefaultMutantCatalog() []MutantSpec { return mutate.DefaultCatalog() }
+
+// MutantOps lists every mutation-operator name in sorted order.
+func MutantOps() []string { return mutate.OpNames() }
+
+// ReadMutationReport parses a report written by MutationReport.WriteJSON.
+func ReadMutationReport(r io.Reader) (*MutationReport, error) { return mutate.ReadJSON(r) }
 
 // Experiments returns the evaluation experiment registry (T1–T6, F1–F6);
 // each entry regenerates one table or figure of the paper reproduction.

@@ -101,8 +101,8 @@ func TestRunExperimentByID(t *testing.T) {
 	if _, err := RunExperiment("T99", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Experiments()) != 17 {
-		t.Errorf("registry size = %d, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Errorf("registry size = %d, want 18", len(Experiments()))
 	}
 }
 
@@ -228,5 +228,33 @@ func TestWriteComparisonReportPublicAPI(t *testing.T) {
 	}
 	if err := WriteComparisonReport(&buf, "x", nil, after); err == nil {
 		t.Error("nil before accepted")
+	}
+}
+
+func TestRunMutationCampaignFacade(t *testing.T) {
+	rep, err := RunMutationCampaign(MutationConfig{
+		Tracks:   []string{"urban-loop"},
+		Mutants:  []MutantSpec{{Op: "identity"}, {Op: "ctrl-gain-flip"}},
+		Duration: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := rep.Score("ctrl-gain-flip"); !ok || !s.Killed {
+		t.Errorf("gain-flip not killed: %+v", s)
+	}
+	if s, _ := rep.Score("identity"); s.Killed {
+		t.Errorf("identity killed: %+v", s)
+	}
+	if len(DefaultMutantCatalog()) == 0 || len(MutantOps()) == 0 {
+		t.Error("mutant catalog accessors empty")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMutationReport(&buf)
+	if err != nil || back.MutationScore != rep.MutationScore {
+		t.Errorf("report round trip failed: %v", err)
 	}
 }

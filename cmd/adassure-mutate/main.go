@@ -1,0 +1,217 @@
+// Command adassure-mutate runs a mutation-testing campaign against the
+// assertion catalog: it injects exactly one controller mutant or
+// sensor/actuator fault per simulation run, scores each assertion by the
+// mutants it kills (fires on the mutated run but not on the clean baseline
+// of the same track and seed), and prints the kill matrix plus the ranked
+// surviving-mutant report.
+//
+// Usage:
+//
+//	adassure-mutate                              # default grid (15 mutants × 2 tracks)
+//	adassure-mutate -tracks urban-loop           # single route
+//	adassure-mutate -mutants identity,ctrl-gain-flip,ctrl-gain-scale=0.25
+//	adassure-mutate -controller stanley -duration 40
+//	adassure-mutate -json report.json            # machine-readable report ("-" = stdout)
+//	adassure-mutate -workers 8                   # pool size (default GOMAXPROCS)
+//
+// -mutants takes a comma-separated list of operator names, each optionally
+// parameterised as op=value (a bare op uses its default). The report is
+// byte-identical for any -workers value.
+//
+// Observability: -metrics out.json writes a JSON runtime-metrics snapshot
+// aggregated across every run of the campaign, and -events out.json
+// records the structured event timeline (tracks scoped per grid cell).
+// Neither changes the report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"adassure"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adassure-mutate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseMutants turns "op,op=param,..." into canonical specs.
+func parseMutants(s string) ([]adassure.MutantSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []adassure.MutantSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		spec := adassure.MutantSpec{Op: item}
+		if op, val, ok := strings.Cut(item, "="); ok {
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mutant %q: bad parameter %q", item, val)
+			}
+			spec = adassure.MutantSpec{Op: op, Param: p}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// parseTracks splits the CSV track list.
+func parseTracks(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// renderMatrix prints the kill matrix as an aligned table: one row per
+// mutant, an X per killing assertion, plus the aggregate columns.
+func renderMatrix(w io.Writer, rep *adassure.MutationReport) {
+	headers := append(append([]string{"mutant", "kind"}, rep.Assertions...), "killed", "first", "latency (s)", "max |cte| (m)")
+	rows := [][]string{headers}
+	for _, s := range rep.Scores {
+		row := []string{s.Mutant, string(s.Kind)}
+		for _, id := range rep.Assertions {
+			cell := "."
+			if rep.Killed(s.Mutant, id) {
+				cell = "X"
+			}
+			row = append(row, cell)
+		}
+		killed, first, latency := "no", "-", "-"
+		if s.Killed {
+			killed, first = "yes", s.FirstKill
+			latency = strconv.FormatFloat(s.Latency, 'f', 2, 64)
+		}
+		rows = append(rows, append(row, killed, first, latency, strconv.FormatFloat(s.MaxTrueCTE, 'f', 2, 64)))
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			fmt.Fprintln(w, strings.Repeat("-", total))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func main() {
+	var (
+		controller = flag.String("controller", "pure-pursuit", "lateral controller under test")
+		tracksCSV  = flag.String("tracks", "", "comma-separated route names (default urban-loop,hairpin)")
+		mutantsCSV = flag.String("mutants", "", "comma-separated mutants, op or op=param (default: full catalog; see -ops)")
+		listOps    = flag.Bool("ops", false, "list the mutation operators and exit")
+		seed       = flag.Int64("seed", 1, "seed for all stochastic components")
+		duration   = flag.Float64("duration", 60, "simulated seconds per run")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign pool size")
+		jsonOut    = flag.String("json", "", "write the report as JSON to this file (\"-\" = stdout)")
+		metricsOut = flag.String("metrics", "", "write a JSON runtime-metrics snapshot to this file")
+		eventsOut  = flag.String("events", "", "write the structured event timeline as JSON to this file")
+	)
+	flag.Parse()
+
+	if *listOps {
+		for _, op := range adassure.MutantOps() {
+			fmt.Println(op)
+		}
+		return
+	}
+
+	mutants, err := parseMutants(*mutantsCSV)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var reg *adassure.Registry
+	if *metricsOut != "" {
+		reg = adassure.NewRegistry()
+	}
+	var rec *adassure.EventRecorder
+	if *eventsOut != "" {
+		rec = adassure.NewEventRecorder(0)
+	}
+
+	start := time.Now()
+	rep, err := adassure.RunMutationCampaign(adassure.MutationConfig{
+		Controller: *controller,
+		Tracks:     parseTracks(*tracksCSV),
+		Mutants:    mutants,
+		Seed:       *seed,
+		Duration:   *duration,
+		Workers:    *workers,
+		Obs:        reg,
+		Events:     rec,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatalf("write report: %v", err)
+		}
+	} else {
+		renderMatrix(os.Stdout, rep)
+		if err := rep.WriteSurvivorReport(os.Stdout); err != nil {
+			fatalf("write survivor report: %v", err)
+		}
+		fmt.Printf("\n(%d mutants × %d tracks scored in %.1fs)\n",
+			len(rep.Scores), len(rep.Tracks), time.Since(start).Seconds())
+	}
+
+	writeFile := func(path, what string, fn func(io.Writer) error) {
+		if path == "" || path == "-" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatalf("write %s: %v", what, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
+	}
+	if *jsonOut != "" && *jsonOut != "-" {
+		writeFile(*jsonOut, "report", rep.WriteJSON)
+	}
+	if reg != nil {
+		writeFile(*metricsOut, "metrics", reg.WriteJSON)
+	}
+	if rec != nil {
+		writeFile(*eventsOut, "events", rec.WriteJSON)
+	}
+}

@@ -282,6 +282,19 @@ func (c *LQRMPC) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 
 	return ff + u
 }
 
+// Longitudinal computes acceleration commands tracking a target speed.
+// *SpeedPID is the production implementation; the interface exists so the
+// simulator can accept an instrumented or mutated wrapper without the
+// pristine controller changing.
+type Longitudinal interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Accel returns the acceleration command tracking targetSpeed.
+	Accel(currentSpeed, targetSpeed, dt float64) float64
+	// Reset clears internal state for a fresh run.
+	Reset()
+}
+
 // SpeedPID is the longitudinal controller: PID on speed error with
 // anti-windup, returning an acceleration command.
 type SpeedPID struct {
@@ -293,6 +306,8 @@ type SpeedPID struct {
 	maxAccel      float64
 	maxBrake      float64
 }
+
+var _ Longitudinal = (*SpeedPID)(nil)
 
 // NewSpeedPID builds the speed controller for a vehicle's accel envelope.
 func NewSpeedPID(p vehicle.Params) *SpeedPID {

@@ -308,6 +308,7 @@ func All() []Experiment {
 		{"X3", ExtensionX3StepMagnitudeSweep},
 		{"X4", ExtensionX4AssertionUtility},
 		{"X5", ExtensionX5FusionAblation},
+		{"M1", ExperimentM1MutationKillMatrix},
 	}
 }
 

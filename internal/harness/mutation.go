@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"adassure/internal/mutate"
+)
+
+// mutationDuration mirrors the campaign defaults used for the goldens:
+// quick mode matches the shortest duration at which every non-identity
+// controller mutant of the default grid is still killed.
+func mutationDuration(o Options) float64 {
+	if o.Quick {
+		return 40
+	}
+	return 60
+}
+
+// mutationCampaign runs the default-grid campaign behind M1 with the
+// experiment options applied.
+func mutationCampaign(o Options) (*mutate.Report, error) {
+	o.defaults()
+	return mutate.Run(mutate.Config{
+		Controller: o.Controller,
+		Seed:       1,
+		Duration:   mutationDuration(o),
+		Workers:    o.Workers,
+		Obs:        o.Obs,
+		Events:     o.Events,
+		Progress:   o.Progress,
+	})
+}
+
+// ExperimentM1MutationKillMatrix regenerates M1: the mutation-testing kill
+// matrix that scores the assertion catalog. One row per mutant of the
+// default grid; an X marks each assertion that killed the mutant (fired on
+// the mutated run but not on the clean baseline of the same track and
+// seed). The identity row is the soundness guard: it must stay all dots.
+func ExperimentM1MutationKillMatrix(o Options) (*Table, error) {
+	o.defaults()
+	rep, err := mutationCampaign(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "M1",
+		Title:   "Mutation kill matrix: assertion × mutant (any track, vs per-track baseline)",
+		Columns: append(append([]string{"mutant", "kind"}, rep.Assertions...), "killed", "first", "latency (s)", "max |cte| (m)"),
+		Notes: []string{
+			fmt.Sprintf("tracks %v, %s controller, seed %d, %.0f s/run; mutants active from t=0",
+				rep.Tracks, rep.Controller, rep.Seed, rep.Duration),
+			fmt.Sprintf("mutation score %.0f%% of non-identity mutants killed; survivors ranked in the survivor report",
+				100*rep.MutationScore),
+			"latency = raise time of the first kill-qualifying violation across tracks",
+		},
+	}
+	for _, s := range rep.Scores {
+		row := []string{s.Mutant, string(s.Kind)}
+		for _, id := range rep.Assertions {
+			cell := "."
+			if rep.Killed(s.Mutant, id) {
+				cell = "X"
+			}
+			row = append(row, cell)
+		}
+		killed := "no"
+		first := "-"
+		latency := "-"
+		if s.Killed {
+			killed = "yes"
+			first = s.FirstKill
+			latency = strconv.FormatFloat(s.Latency, 'f', 2, 64)
+		}
+		row = append(row, killed, first, latency, strconv.FormatFloat(s.MaxTrueCTE, 'f', 2, 64))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

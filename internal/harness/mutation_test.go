@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSurvivors locks the M1 campaign's surviving-mutant report — the
+// ranked list of fault classes the assertion catalog missed — to a committed
+// snapshot, alongside the kill-matrix golden TestGolden covers. The name
+// prefix keeps it inside `make golden` / `make golden-update`.
+func TestGoldenSurvivors(t *testing.T) {
+	rep, err := mutationCampaign(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteSurvivorReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "M1-survivors.txt")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("survivor report drifted from %s (regenerate with -update if intentional)\n--- want\n%s\n--- got\n%s",
+			path, want, buf.Bytes())
+	}
+}
+
+// TestM1KillMatrixShape sanity-checks the rendered M1 table: one row per
+// default-grid mutant, identity all dots, and at least one X per controller
+// mutant row.
+func TestM1KillMatrixShape(t *testing.T) {
+	tb, err := ExperimentM1MutationKillMatrix(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("M1 rendered no rows")
+	}
+	for _, row := range tb.Rows {
+		mutant, kind := row[0], row[1]
+		marks := 0
+		for _, cell := range row[2 : len(row)-4] {
+			if cell == "X" {
+				marks++
+			}
+		}
+		switch {
+		case mutant == "identity" && marks != 0:
+			t.Errorf("identity row has %d kill marks", marks)
+		case mutant != "identity" && kind == "controller" && marks == 0:
+			t.Errorf("controller mutant %s row has no kill marks", mutant)
+		}
+	}
+}

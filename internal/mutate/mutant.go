@@ -1,0 +1,223 @@
+package mutate
+
+import (
+	"fmt"
+	"math"
+
+	"adassure/internal/control"
+	"adassure/internal/fusion"
+	"adassure/internal/geom"
+	"adassure/internal/sensors"
+	"adassure/internal/sim"
+	"adassure/internal/vehicle"
+)
+
+// Instrument installs one mutant into a sim config: controller mutants via
+// Config.WrapLateral/WrapSpeed, sensor and actuator faults via
+// Config.Faults. The spec must be canonical. Hooks hold per-run state, so
+// Instrument must be called once per run config — never share an
+// instrumented config across runs. The NaN-leak mutant emits non-finite
+// commands, so every instrumented run disables trace recording.
+func Instrument(cfg *sim.Config, spec Spec) error {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return err
+	}
+	if canon != spec {
+		return fmt.Errorf("mutate: spec %+v is not canonical (want %+v)", spec, canon)
+	}
+	switch spec.Kind() {
+	case KindController:
+		if spec.Op == OpSatRemove {
+			cfg.WrapSpeed = func(inner control.Longitudinal) control.Longitudinal {
+				return newUnsaturatedSpeed(inner, cfg.Vehicle)
+			}
+		} else {
+			cfg.WrapLateral = func(inner control.Lateral) control.Lateral {
+				return &mutatedLateral{inner: inner, spec: spec}
+			}
+		}
+	case KindSensor, KindActuator:
+		cfg.Faults = buildFaults(spec)
+	default:
+		return fmt.Errorf("mutate: operator %q has no registered kind", spec.Op)
+	}
+	return nil
+}
+
+// mutatedLateral wraps a pristine lateral controller and perturbs its
+// input estimate, its reference path, or its output command according to
+// the mutant operator. One instance serves one run.
+type mutatedLateral struct {
+	inner control.Lateral
+	spec  Spec
+
+	t       float64 // accumulated control time since Reset
+	steps   int
+	held    fusion.Estimate // frozen-input latch
+	heldAt  float64
+	hasHeld bool
+}
+
+// Name implements control.Lateral.
+func (m *mutatedLateral) Name() string { return m.inner.Name() + "+" + m.spec.ID() }
+
+// Reset implements control.Lateral.
+func (m *mutatedLateral) Reset() {
+	m.inner.Reset()
+	m.t, m.steps, m.hasHeld = 0, 0, false
+}
+
+// Steer implements control.Lateral.
+func (m *mutatedLateral) Steer(est fusion.Estimate, path geom.Path, dt float64) float64 {
+	m.t += dt
+	m.steps++
+
+	// Input-side mutations.
+	switch m.spec.Op {
+	case OpFrozenInput:
+		if !m.hasHeld || m.t-m.heldAt >= m.spec.Param {
+			m.held, m.heldAt, m.hasHeld = est, m.t, true
+		}
+		est = m.held
+	case OpHeadingDrop:
+		s, _ := path.Project(est.Pose.Pos)
+		est.Pose.Heading = path.HeadingAt(s)
+	case OpLookaheadSkip:
+		path = shiftedPath{Path: path, offset: m.spec.Param}
+	}
+
+	raw := m.inner.Steer(est, path, dt)
+
+	// Output-side mutations.
+	switch m.spec.Op {
+	case OpGainFlip:
+		raw = -raw
+	case OpGainScale:
+		raw *= m.spec.Param
+	case OpNaNLeak:
+		if m.steps%int(m.spec.Param) == 0 {
+			raw = math.NaN()
+		}
+	}
+	return raw
+}
+
+// shiftedPath presents the reference path with every projection advanced
+// by a fixed arc offset — the geometry of an off-by-N waypoint-indexing
+// bug in the follower. Closed paths wrap the advanced arc length; open
+// paths clamp it (both handled by the underlying Path's accessors).
+type shiftedPath struct {
+	geom.Path
+	offset float64
+}
+
+// Project implements geom.Path.
+func (p shiftedPath) Project(q geom.Vec2) (s, lateral float64) {
+	s, lateral = p.Path.Project(q)
+	return s + p.offset, lateral
+}
+
+// unsaturatedSpeed re-derives the pristine speed PID's command with both
+// saturations deleted: the anti-windup clamp on the integrator and the
+// output acceleration clamp. Gains are copied from the pristine
+// controller so the only behavioural difference is the missing clamps.
+type unsaturatedSpeed struct {
+	inner      control.Longitudinal
+	kp, ki, kd float64
+	integral   float64
+	prevErr    float64
+	hasPrev    bool
+}
+
+func newUnsaturatedSpeed(inner control.Longitudinal, p vehicle.Params) *unsaturatedSpeed {
+	ref := control.NewSpeedPID(p)
+	return &unsaturatedSpeed{inner: inner, kp: ref.Kp, ki: ref.Ki, kd: ref.Kd}
+}
+
+// Name implements control.Longitudinal.
+func (c *unsaturatedSpeed) Name() string { return c.inner.Name() + "+" + OpSatRemove }
+
+// Reset implements control.Longitudinal.
+func (c *unsaturatedSpeed) Reset() {
+	c.inner.Reset()
+	c.integral, c.prevErr, c.hasPrev = 0, 0, false
+}
+
+// Accel implements control.Longitudinal.
+func (c *unsaturatedSpeed) Accel(currentSpeed, targetSpeed, dt float64) float64 {
+	err := targetSpeed - currentSpeed
+	c.integral += err * dt // anti-windup clamp deleted
+	var deriv float64
+	if c.hasPrev && dt > 0 {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.hasPrev = true
+	// Output saturation deleted.
+	return c.kp*err + c.ki*c.integral + c.kd*deriv
+}
+
+// buildFaults constructs the FaultSet of a sensor/actuator mutant. Each
+// call builds fresh closures (latency queues, stuck-at latches), so the
+// returned set belongs to exactly one run.
+func buildFaults(spec Spec) *sim.FaultSet {
+	switch spec.Op {
+	case OpGNSSDropout:
+		onset := spec.Param
+		return &sim.FaultSet{GNSS: func(fix sensors.GNSSFix, t float64) (sensors.GNSSFix, bool) {
+			return fix, t < onset
+		}}
+	case OpGNSSLatency:
+		// Stateful delay line, mirroring the standard delay attack: fixes
+		// queue for Param seconds and are released (at most one per
+		// incoming poll) once due, so delivered content is stale and the
+		// stream opens with a silent gap while the pipeline fills.
+		extra := spec.Param
+		var queue []sensors.GNSSFix
+		return &sim.FaultSet{GNSS: func(fix sensors.GNSSFix, t float64) (sensors.GNSSFix, bool) {
+			fix.T += extra
+			queue = append(queue, fix)
+			if queue[0].T <= t {
+				out := queue[0]
+				queue = queue[1:]
+				return out, true
+			}
+			return fix, false
+		}}
+	case OpGNSSQuantize:
+		q := spec.Param
+		return &sim.FaultSet{GNSS: func(fix sensors.GNSSFix, t float64) (sensors.GNSSFix, bool) {
+			fix.Pos.X = math.Round(fix.Pos.X/q) * q
+			fix.Pos.Y = math.Round(fix.Pos.Y/q) * q
+			return fix, true
+		}}
+	case OpOdomStuck:
+		onset := spec.Param
+		var held float64
+		var has bool
+		return &sim.FaultSet{Odom: func(r sensors.OdomReading, t float64) (sensors.OdomReading, bool) {
+			if t >= onset {
+				if !has {
+					held, has = r.Speed, true
+				}
+				r.Speed = held // timestamp stays fresh: stuck-at, not stale
+			}
+			return r, true
+		}}
+	case OpSteerStuck:
+		onset := spec.Param
+		var held float64
+		var has bool
+		return &sim.FaultSet{Actuator: func(cmd vehicle.Command, t float64) vehicle.Command {
+			if t >= onset {
+				if !has {
+					held, has = cmd.Steer, true
+				}
+				cmd.Steer = held
+			}
+			return cmd
+		}}
+	}
+	return nil
+}

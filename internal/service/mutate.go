@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"adassure/internal/mutate"
+	"adassure/internal/runner"
+)
+
+// MutateRequest is one mutation-campaign request for POST /v1/mutate. The
+// zero value of every field means "the campaign default", so `{}` runs the
+// full default grid. Campaigns are deterministic in the canonicalized
+// request, so the result cache and single-flight coalescing apply exactly
+// as for /v1/run.
+type MutateRequest struct {
+	// Controller is the lateral controller under test (default
+	// "pure-pursuit").
+	Controller string `json:"controller,omitempty"`
+	// Tracks are the route names (default urban-loop + hairpin).
+	Tracks []string `json:"tracks,omitempty"`
+	// Mutants is the grid (default: the full mutant catalog). Each entry is
+	// an operator name plus optional parameter; see GET /v1/catalog.
+	Mutants []mutate.Spec `json:"mutants,omitempty"`
+	// Seed drives all stochastic components (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Duration is the simulated seconds per run (default 60, capped by the
+	// server's MaxDuration).
+	Duration float64 `json:"duration,omitempty"`
+}
+
+// maxCampaignRuns bounds the (mutants+1) × tracks grid one request may ask
+// for, keeping a single admission slot's work comparable to one /v1/run.
+const maxCampaignRuns = 64
+
+// Canonicalize validates the request and fills every defaultable field, so
+// equivalent campaigns collapse onto one cache key. The receiver is not
+// mutated.
+func (r MutateRequest) Canonicalize(maxDuration float64) (MutateRequest, error) {
+	if r.Controller == "" {
+		r.Controller = "pure-pursuit"
+	}
+	if len(r.Tracks) == 0 {
+		r.Tracks = []string{"urban-loop", "hairpin"}
+	}
+	if len(r.Mutants) == 0 {
+		r.Mutants = mutate.DefaultCatalog()
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Duration == 0 {
+		r.Duration = 60
+	}
+
+	if !contains(validControllers, r.Controller) {
+		return r, fmt.Errorf("unknown controller %q (have %v)", r.Controller, validControllers)
+	}
+	for _, tr := range r.Tracks {
+		if !contains(validTracks, tr) {
+			return r, fmt.Errorf("unknown track %q (have %v)", tr, validTracks)
+		}
+	}
+	if !finite(r.Duration) || r.Duration <= 0 {
+		return r, fmt.Errorf("duration must be a positive finite number of seconds, got %v", r.Duration)
+	}
+	if maxDuration > 0 && r.Duration > maxDuration {
+		return r, fmt.Errorf("duration %g s exceeds the server cap of %g s", r.Duration, maxDuration)
+	}
+	canon := make([]mutate.Spec, len(r.Mutants))
+	seen := map[string]bool{}
+	for i, m := range r.Mutants {
+		cm, err := m.Canonicalize()
+		if err != nil {
+			return r, err
+		}
+		if seen[cm.ID()] {
+			return r, fmt.Errorf("duplicate mutant %q in grid", cm.ID())
+		}
+		seen[cm.ID()] = true
+		canon[i] = cm
+	}
+	r.Mutants = canon
+	if runs := len(r.Tracks) * (len(r.Mutants) + 1); runs > maxCampaignRuns {
+		return r, fmt.Errorf("campaign grid of %d runs exceeds the cap of %d (fewer mutants or tracks)",
+			runs, maxCampaignRuns)
+	}
+	return r, nil
+}
+
+// Key returns the content address of a canonicalized campaign request. The
+// encoding is namespaced so a campaign can never collide with a /v1/run
+// scenario in the shared cache.
+func (r MutateRequest) Key() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A canonical MutateRequest holds only finite floats, strings and
+		// ints; Marshal cannot fail on it.
+		panic(fmt.Sprintf("service: marshal canonical mutate request: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte("mutate\n"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// Config converts a canonicalized request into the campaign it executes.
+// Workers is left at the engine default: one admission slot owns the
+// campaign, and the engine fans its (bounded) grid across its own pool —
+// the report is byte-identical either way.
+func (r MutateRequest) Config() mutate.Config {
+	return mutate.Config{
+		Controller: r.Controller,
+		Tracks:     r.Tracks,
+		Mutants:    r.Mutants,
+		Seed:       r.Seed,
+		Duration:   r.Duration,
+	}
+}
+
+// handleMutate is the mutation-campaign endpoint: decode → canonicalize →
+// cache → single-flight → pool → respond with the kill-matrix report.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	tm := s.reqNS.Start()
+	defer tm.Stop()
+
+	var req MutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.badReqs.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody("decode request: "+err.Error()))
+		return
+	}
+	canon, err := req.Canonicalize(s.cfg.MaxDuration)
+	if err != nil {
+		s.badReqs.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody("invalid request: "+err.Error()))
+		return
+	}
+	key := canon.Key()
+
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set(CacheHeader, "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+
+	call, leader := s.flight.join(key)
+	disposition := "coalesced"
+	if leader {
+		disposition = "miss"
+		if err := s.submitMutate(key, canon, call); err != nil {
+			s.flight.forget(key)
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, runner.ErrQueueFull) {
+				status = http.StatusTooManyRequests
+				s.shedded.Inc()
+			}
+			call.finish(errorBody(err.Error()), status, err)
+		}
+	} else {
+		s.coalesced.Inc()
+	}
+
+	select {
+	case <-call.done:
+	case <-r.Context().Done():
+		return
+	}
+	if call.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	if call.status == http.StatusOK {
+		w.Header().Set(CacheHeader, disposition)
+	}
+	writeJSON(w, call.status, call.body)
+}
+
+// submitMutate hands the campaign to the pool, mirroring submit.
+func (s *Server) submitMutate(key string, req MutateRequest, call *flightCall) error {
+	if s.closed.Load() {
+		return fmt.Errorf("service: shutting down")
+	}
+	return s.pool.TrySubmit(s.baseCtx, func(ctx context.Context) {
+		s.executeMutate(ctx, key, req, call)
+	}, func(recovered any) {
+		s.simErrors.Inc()
+		s.flight.forget(key)
+		call.finish(errorBody(fmt.Sprint(recovered)), http.StatusInternalServerError, nil)
+	})
+}
+
+// executeMutate runs one campaign under the per-request budget and
+// publishes the report to cache and waiters.
+func (s *Server) executeMutate(ctx context.Context, key string, req MutateRequest, call *flightCall) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+
+	rt := s.runNS.Start()
+	cfg := req.Config()
+	cfg.Context = ctx
+	cfg.Obs = s.reg // aggregate sim/monitor metrics across all runs
+	rep, err := mutate.Run(cfg)
+	rt.Stop()
+
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+			s.timeouts.Inc()
+		case errors.Is(err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		default:
+			s.simErrors.Inc()
+		}
+		s.flight.forget(key)
+		call.finish(errorBody("run campaign: "+err.Error()), status, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		s.simErrors.Inc()
+		s.flight.forget(key)
+		call.finish(errorBody("encode report: "+err.Error()), http.StatusInternalServerError, err)
+		return
+	}
+	body := buf.Bytes()
+	// Publish to the cache before forgetting the call — same ordering
+	// argument as execute.
+	s.cache.put(key, body)
+	s.flight.forget(key)
+	call.finish(body, http.StatusOK, nil)
+}

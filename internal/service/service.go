@@ -17,7 +17,8 @@
 // Endpoints:
 //
 //	POST /v1/run      execute (or serve from cache) one scenario
-//	GET  /v1/catalog  enumerate tracks, controllers, attacks, assertions
+//	POST /v1/mutate   execute (or serve from cache) one mutation campaign
+//	GET  /v1/catalog  enumerate tracks, controllers, attacks, assertions, mutants
 //	GET  /healthz     liveness + queue occupancy
 //	GET  /metrics     JSON snapshot of the obs registry
 //	GET  /debug/pprof net/http/pprof (when Config.EnablePprof)
@@ -144,9 +145,11 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleFallback)
 	if cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -337,6 +340,32 @@ func retryAfterSeconds(d time.Duration) int {
 	return secs
 }
 
+// routeMethods is the allowed-method table behind the JSON fallback. The
+// catch-all "/" pattern matches any request no method-specific pattern
+// does, so wrong-method calls on real routes land here too; the table lets
+// the fallback answer 405 + Allow for those and 404 for unknown paths —
+// both with the uniform JSON error envelope instead of the mux's plain
+// text.
+var routeMethods = map[string]string{
+	"/v1/run":     "POST",
+	"/v1/mutate":  "POST",
+	"/v1/catalog": "GET",
+	"/healthz":    "GET",
+	"/metrics":    "GET",
+}
+
+// handleFallback answers every request no registered route claims.
+func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	s.badReqs.Inc()
+	if allow, ok := routeMethods[r.URL.Path]; ok {
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorBody(fmt.Sprintf("method %s not allowed for %s (allow %s)", r.Method, r.URL.Path, allow)))
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody("unknown route "+r.URL.Path))
+}
+
 // handleHealthz reports liveness and queue occupancy.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
@@ -369,6 +398,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		"assertions": adassure.NewCatalogMonitor(adassure.CatalogConfig{
 			IncludeGroundTruth: true,
 		}).AssertionIDs(),
+		"mutants": adassure.MutantOps(),
 	})
 	writeJSON(w, http.StatusOK, b)
 }

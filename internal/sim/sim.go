@@ -86,6 +86,22 @@ func (g *GuardConfig) defaults() {
 	}
 }
 
+// FaultSet injects deterministic component-fault models into a run. The
+// sensor hooks sit between the pristine sensor models and the attack
+// campaign (a hardware fault happens upstream of any adversarial channel
+// manipulation); returning deliver=false drops the reading. The Actuator
+// hook corrupts the command after the monitor has seen what the controller
+// requested — the same interposition point as Campaign.Actuator — and runs
+// ahead of it. Hooks may keep internal state (latency queues, stuck-at
+// latches); a FaultSet must therefore not be shared across concurrent
+// runs. All fields are optional; a nil FaultSet is a pristine run.
+type FaultSet struct {
+	GNSS     func(fix sensors.GNSSFix, t float64) (sensors.GNSSFix, bool)
+	IMU      func(r sensors.IMUReading, t float64) (sensors.IMUReading, bool)
+	Odom     func(r sensors.OdomReading, t float64) (sensors.OdomReading, bool)
+	Actuator func(cmd vehicle.Command, t float64) vehicle.Command
+}
+
 // Config describes one simulation run.
 type Config struct {
 	// Track is the route to drive. Required.
@@ -110,6 +126,19 @@ type Config struct {
 	EngineRate float64
 	// Campaign is the attack configuration (zero value = clean run).
 	Campaign attacks.Campaign
+	// WrapLateral, when non-nil, wraps the lateral controller right after
+	// construction — the mutation-testing engine's injection point for
+	// controller-level mutants (the pristine control implementations are
+	// never touched). A wrapper that can emit non-finite commands must be
+	// run with DisableTrace (the trace layer stores finite samples only;
+	// the step loop skips recording such samples, the plant sanitises
+	// them, and the monitor skips the affected frames).
+	WrapLateral func(control.Lateral) control.Lateral
+	// WrapSpeed is WrapLateral for the longitudinal controller.
+	WrapSpeed func(control.Longitudinal) control.Longitudinal
+	// Faults, when non-nil, injects component-fault models between the
+	// pristine sensors and the attack campaign (see FaultSet).
+	Faults *FaultSet
 	// Guard configures the defended stack.
 	Guard GuardConfig
 	// Monitor, when non-nil, receives one core.Frame per control step.
@@ -225,7 +254,13 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	speedCtl := control.NewSpeedPID(cfg.Vehicle)
+	if cfg.WrapLateral != nil {
+		lateral = cfg.WrapLateral(lateral)
+	}
+	var speedCtl control.Longitudinal = control.NewSpeedPID(cfg.Vehicle)
+	if cfg.WrapSpeed != nil {
+		speedCtl = cfg.WrapSpeed(speedCtl)
+	}
 	profile, err := planner.NewSpeedProfileForTrack(cfg.Track, cfg.Vehicle)
 	if err != nil {
 		return nil, err
@@ -354,6 +389,12 @@ func Run(cfg Config) (*Result, error) {
 
 		// Sensors → attacks → fusion.
 		for _, r := range imu.Poll(truth, t) {
+			if cfg.Faults != nil && cfg.Faults.IMU != nil {
+				var deliver bool
+				if r, deliver = cfg.Faults.IMU(r, t); !deliver {
+					continue
+				}
+			}
 			if cfg.Campaign.IMU != nil {
 				var deliver bool
 				if r, deliver = cfg.Campaign.IMU.Apply(r, t); !deliver {
@@ -365,6 +406,12 @@ func Run(cfg Config) (*Result, error) {
 			lastIMU, lastIMUAt = r, t
 		}
 		for _, r := range odom.Poll(truth, t) {
+			if cfg.Faults != nil && cfg.Faults.Odom != nil {
+				var deliver bool
+				if r, deliver = cfg.Faults.Odom(r, t); !deliver {
+					continue
+				}
+			}
 			if cfg.Campaign.Odom != nil {
 				var deliver bool
 				if r, deliver = cfg.Campaign.Odom.Apply(r, t); !deliver {
@@ -376,6 +423,12 @@ func Run(cfg Config) (*Result, error) {
 			lastOdom, lastOdomAt = r, t
 		}
 		for _, fix := range gnss.Poll(truth, t) {
+			if cfg.Faults != nil && cfg.Faults.GNSS != nil {
+				var deliver bool
+				if fix, deliver = cfg.Faults.GNSS(fix, t); !deliver {
+					continue
+				}
+			}
 			if cfg.Campaign.GNSS != nil {
 				var deliver bool
 				if fix, deliver = cfg.Campaign.GNSS.Apply(fix, t); !deliver {
@@ -518,6 +571,11 @@ func Run(cfg Config) (*Result, error) {
 		steer := geom.Clamp(lateral.Steer(est, cfg.Track.Path(), controlDT), -cfg.Vehicle.MaxSteer, cfg.Vehicle.MaxSteer)
 		accel := speedCtl.Accel(est.Speed, target, controlDT)
 		cmd = vehicle.Command{Steer: steer, Accel: accel}
+		if cfg.Faults != nil && cfg.Faults.Actuator != nil {
+			// Component-level actuator fault: like Campaign.Actuator below,
+			// it corrupts after the monitor has seen the requested command.
+			cmd = cfg.Faults.Actuator(cmd, t)
+		}
 		if cfg.Campaign.Actuator != nil {
 			// Actuator faults corrupt the command *after* the controller
 			// (and after the monitor sees what was requested) — the plant
@@ -591,8 +649,8 @@ func Run(cfg Config) (*Result, error) {
 			tr.MustRecord("cte_est", t, cte)
 			tr.MustRecord("speed", t, truth.Speed)
 			tr.MustRecord("target_speed", t, target)
-			tr.MustRecord("steer", t, steer)
-			tr.MustRecord("accel_cmd", t, accel)
+			recordFinite(tr, "steer", t, steer)
+			recordFinite(tr, "accel_cmd", t, accel)
 			tr.MustRecord("nis", t, nis)
 			tr.MustRecord("heading_err", t, headingErr)
 			tr.MustRecord("est_heading", t, est.Pose.Heading)
@@ -660,6 +718,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// recordFinite records a signal sample, silently skipping non-finite
+// values: the trace layer stores finite samples only, and a mutated
+// controller (WrapLateral) may legitimately emit NaN commands.
+func recordFinite(tr *trace.Trace, signal string, t, v float64) {
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		tr.MustRecord(signal, t, v)
+	}
 }
 
 func boolTo01(b bool) float64 {
