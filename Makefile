@@ -29,12 +29,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot: run the Benchmark* suite and write
-# name / ns_per_op / allocs_per_op per benchmark to BENCH_4.json, so the
+# name / ns_per_op / allocs_per_op per benchmark to BENCH_5.json, so the
 # perf trajectory accumulates as comparable artifacts across changes.
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime $(BENCHTIME) ./... \
-		| $(GO) run ./internal/tools/benchjson > BENCH_4.json
+		| $(GO) run ./internal/tools/benchjson > BENCH_5.json
 
 # Golden-file regression suite: every deterministic experiment rendering,
 # the event-timeline render and the diagnosis report must match their

@@ -1,5 +1,5 @@
 // Command adassure-bench regenerates the evaluation tables and figures
-// (T1–T6, F1–F6) from fresh simulation runs and prints them as aligned
+// (T1–T6, F1–F6, extensions X1–X5, mutation matrix M1) from fresh runs and prints them as aligned
 // plain-text tables — the reproduction counterpart of the paper's
 // evaluation section. See EXPERIMENTS.md for the expected shapes.
 //
@@ -84,7 +84,7 @@ func writeMetrics(reg *adassure.Registry, path string) {
 
 func main() {
 	var (
-		id         = flag.String("id", "", "single experiment to run (T1..T6, F1..F6); empty = all")
+		id         = flag.String("id", "", "single experiment to run (T1..T6, F1..F6, X1..X5, M1); empty = all")
 		seeds      = flag.Int("seeds", 3, "seeds per configuration")
 		quick      = flag.Bool("quick", false, "shorten runs for a smoke pass")
 		controller = flag.String("controller", "pure-pursuit", "default lateral controller")

@@ -41,8 +41,11 @@ type Outcome struct {
 	// the observed value sits, in the assertion's native unit. Used by the
 	// threshold-ablation experiments.
 	Margin float64
-	// Evidence carries the named values the assertion examined.
-	Evidence map[string]float64
+	// Evidence carries the named values the assertion examined. It is a
+	// compact value type (see Evidence) so returning an Outcome performs no
+	// heap allocation; the monitor materialises a map only when a violation
+	// is raised.
+	Evidence Evidence
 	// Skip indicates the assertion was not applicable this frame (e.g. no
 	// fresh measurement); skipped frames do not advance the debouncer.
 	Skip bool
@@ -303,7 +306,7 @@ func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
 			T:           f.T,
 			FirstBreach: e.firstBreach,
 			Message:     fmt.Sprintf("%s: %s (%d of last %d frames failing)", e.a.ID(), e.a.Description(), fails, filled),
-			Evidence:    out.Evidence,
+			Evidence:    out.Evidence.Map(),
 		})
 		e.raised.Inc()
 		m.violCtr.Inc()
@@ -339,6 +342,17 @@ func (m *Monitor) Violations() []Violation {
 	copy(out, m.violations)
 	return out
 }
+
+// NumViolations returns how many violations have been recorded so far
+// without copying the record — the per-step poll used by the simulation
+// guard loop (Violations copies, which would cost one allocation per
+// control step).
+func (m *Monitor) NumViolations() int { return len(m.violations) }
+
+// ViolationAt returns the i-th recorded violation (raise order). Together
+// with NumViolations it lets callers scan new violations incrementally
+// without allocating a snapshot.
+func (m *Monitor) ViolationAt(i int) Violation { return m.violations[i] }
 
 // FiredIDs returns the sorted set of assertion IDs with ≥1 violation.
 func (m *Monitor) FiredIDs() []string {
@@ -454,7 +468,7 @@ func Bound(id, name, desc string, sev Severity, ex Extractor, lo, hi float64) As
 		return Outcome{
 			OK:       v >= lo && v <= hi,
 			Margin:   margin,
-			Evidence: map[string]float64{"value": v, "lo": lo, "hi": hi},
+			Evidence: Ev("value", v).And("lo", lo).And("hi", hi),
 		}
 	}, nil)
 }
@@ -484,7 +498,7 @@ func Rate(id, name, desc string, sev Severity, ex Extractor, maxRate float64) As
 		return Outcome{
 			OK:       rate <= maxRate,
 			Margin:   maxRate - rate,
-			Evidence: map[string]float64{"rate": rate, "max": maxRate},
+			Evidence: Ev("rate", rate).And("max", maxRate),
 		}
 	}, func() { has = false })
 }
@@ -509,7 +523,7 @@ func Consistency(id, name, desc string, sev Severity, a, b Extractor, diff func(
 		return Outcome{
 			OK:       d <= tol,
 			Margin:   tol - d,
-			Evidence: map[string]float64{"a": x, "b": y, "diff": d, "tol": tol},
+			Evidence: Ev("a", x).And("b", y).And("diff", d).And("tol", tol),
 		}
 	}, nil)
 }
@@ -529,18 +543,22 @@ func WindowCount(id, name, desc string, sev Severity, pred func(f Frame) (event,
 		if event {
 			times = append(times, f.T)
 		}
-		// Evict old events.
+		// Evict old events, compacting in place so the slice's backing array
+		// is reused instead of walking forward through fresh allocations.
 		cut := f.T - window
 		i := 0
 		for i < len(times) && times[i] < cut {
 			i++
 		}
-		times = times[i:]
+		if i > 0 {
+			n := copy(times, times[i:])
+			times = times[:n]
+		}
 		n := len(times)
 		return Outcome{
 			OK:       n <= maxCount,
 			Margin:   float64(maxCount - n),
-			Evidence: map[string]float64{"count": float64(n), "max": float64(maxCount), "window": window},
+			Evidence: Ev("count", float64(n)).And("max", float64(maxCount)).And("window", window),
 		}
 	}, func() { times = nil })
 }

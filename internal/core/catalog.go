@@ -112,7 +112,7 @@ func A1PositionJump(lim Limits, k float64) Assertion {
 			return Outcome{
 				OK:       implied <= maxImplied,
 				Margin:   maxImplied - implied,
-				Evidence: map[string]float64{"implied_speed": implied, "max": maxImplied},
+				Evidence: Ev("implied_speed", implied).And("max", maxImplied),
 			}
 		}, func() { has = false })
 }
@@ -229,7 +229,7 @@ func A6SteeringCurvature(lim Limits, k float64) Assertion {
 			return Outcome{
 				OK:       dev <= allowance,
 				Margin:   allowance - dev,
-				Evidence: map[string]float64{"deviation": dev, "allowance": allowance, "band_lo": lo, "band_hi": hi},
+				Evidence: Ev("deviation", dev).And("allowance", allowance).And("band_lo", lo).And("band_hi", hi),
 			}
 		}, nil)
 }
@@ -282,7 +282,7 @@ func A9ProgressMonotone(lim Limits, k float64) Assertion {
 			return Outcome{
 				OK:       drop <= tol,
 				Margin:   tol - drop,
-				Evidence: map[string]float64{"regression": drop, "tol": tol},
+				Evidence: Ev("regression", drop).And("tol", tol),
 			}
 		}, func() { has = false })
 }
@@ -379,7 +379,7 @@ func A13HeadingReference(lim Limits, k float64) Assertion {
 			return Outcome{
 				OK:       dev <= tol,
 				Margin:   tol - dev,
-				Evidence: map[string]float64{"ema_divergence": ema, "instant": d, "tol": tol},
+				Evidence: Ev("ema_divergence", ema).And("instant", d).And("tol", tol),
 			}
 		}, func() { ema = 0; has = false })
 }
@@ -427,7 +427,7 @@ func A14ActuatorResponse(lim Limits, k float64) Assertion {
 			return Outcome{
 				OK:       dev <= tol,
 				Margin:   tol - dev,
-				Evidence: map[string]float64{"ema_residual": ema, "expected_yaw": expected, "measured_yaw": f.IMUYawRate, "tol": tol},
+				Evidence: Ev("ema_residual", ema).And("expected_yaw", expected).And("measured_yaw", f.IMUYawRate).And("tol", tol),
 			}
 		}, func() { ema = 0; filtSteer = 0; has = false })
 }

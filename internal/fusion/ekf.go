@@ -84,6 +84,71 @@ type EKF struct {
 	lastAccepted bool
 	rejectStreak int
 	initialized  bool
+
+	s ekfScratch
+}
+
+// ekfScratch holds every working matrix the filter needs, preallocated once
+// in NewEKF and reused across all predicts/updates: the steady-state filter
+// performs no heap allocation. The observation matrices and measurement
+// noise (h2/r2, h1/r1) are constants of the model and are filled at
+// construction. All arithmetic goes through the bit-exact *Of matrix
+// variants, so the filter output is identical to the allocating formulation
+// it replaced.
+type ekfScratch struct {
+	F, Q, FT         Mat // 4×4 motion Jacobian, process noise, Fᵀ
+	t44a, t44b, t44c Mat // 4×4 temporaries
+	dx               Mat // 4×1 state correction
+
+	// GNSS (2-DOF position) update.
+	h2, t24    Mat // 2×4
+	h2T, pht42 Mat // 4×2
+	r2, s2     Mat // 2×2
+	s2inv      Mat // 2×2
+	aug2       Mat // 2×4 Gauss-Jordan workspace
+	y2         Mat // 2×1 innovation
+	y2T, t12   Mat // 1×2
+	nis1       Mat // 1×1
+	k42        Mat // 4×2 Kalman gain
+
+	// Odometry (1-DOF speed) update.
+	h1, t14    Mat // 1×4
+	h1T, pht41 Mat // 4×1
+	r1, s1     Mat // 1×1
+	s1inv      Mat // 1×1
+	aug1       Mat // 1×2 Gauss-Jordan workspace
+	y1         Mat // 1×1 innovation
+	k41        Mat // 4×1 Kalman gain
+}
+
+func newEKFScratch(cfg EKFConfig) ekfScratch {
+	s := ekfScratch{
+		F: NewMat(4, 4), Q: NewMat(4, 4), FT: NewMat(4, 4),
+		t44a: NewMat(4, 4), t44b: NewMat(4, 4), t44c: NewMat(4, 4),
+		dx: NewMat(4, 1),
+		h2: NewMat(2, 4), t24: NewMat(2, 4),
+		h2T: NewMat(4, 2), pht42: NewMat(4, 2),
+		r2: NewMat(2, 2), s2: NewMat(2, 2), s2inv: NewMat(2, 2),
+		aug2: NewMat(2, 4),
+		y2:   NewMat(2, 1), y2T: NewMat(1, 2), t12: NewMat(1, 2),
+		nis1: NewMat(1, 1), k42: NewMat(4, 2),
+		h1: NewMat(1, 4), t14: NewMat(1, 4),
+		h1T: NewMat(4, 1), pht41: NewMat(4, 1),
+		r1: NewMat(1, 1), s1: NewMat(1, 1), s1inv: NewMat(1, 1),
+		aug1: NewMat(1, 2),
+		y1:   NewMat(1, 1), k41: NewMat(4, 1),
+	}
+	// H selects [x, y] for GNSS, [v] for odometry.
+	s.h2.Set(0, 0, 1)
+	s.h2.Set(1, 1, 1)
+	s.h2T.TOf(s.h2)
+	r2 := cfg.GNSSPosStdDev * cfg.GNSSPosStdDev
+	s.r2.Set(0, 0, r2)
+	s.r2.Set(1, 1, r2)
+	s.h1.Set(0, 3, 1)
+	s.h1T.TOf(s.h1)
+	s.r1.Set(0, 0, cfg.OdomSpeedStdev*cfg.OdomSpeedStdev)
+	return s
 }
 
 // NewEKF builds a filter initialised at the given pose and speed.
@@ -100,6 +165,7 @@ func NewEKF(cfg EKFConfig, t0 float64, pose geom.Pose, speed float64) *EKF {
 	f.p.Set(2, 2, 0.05)
 	f.p.Set(3, 3, 0.25)
 	f.lastAccepted = true
+	f.s = newEKFScratch(cfg)
 	return f
 }
 
@@ -126,19 +192,25 @@ func (f *EKF) PredictIMU(r sensors.IMUReading) {
 	f.x.Set(3, 0, math.Max(0, v+r.Accel*dt))
 
 	// Jacobian of the motion model wrt the state.
-	F := Eye(4)
-	F.Set(0, 2, -v*math.Sin(thMid)*dt)
-	F.Set(0, 3, math.Cos(thMid)*dt)
-	F.Set(1, 2, v*math.Cos(thMid)*dt)
-	F.Set(1, 3, math.Sin(thMid)*dt)
+	s := &f.s
+	s.F.SetEye()
+	s.F.Set(0, 2, -v*math.Sin(thMid)*dt)
+	s.F.Set(0, 3, math.Cos(thMid)*dt)
+	s.F.Set(1, 2, v*math.Cos(thMid)*dt)
+	s.F.Set(1, 3, math.Sin(thMid)*dt)
 
-	Q := NewMat(4, 4)
-	Q.Set(0, 0, f.cfg.PosProcNoise*dt)
-	Q.Set(1, 1, f.cfg.PosProcNoise*dt)
-	Q.Set(2, 2, f.cfg.HeadingProcNoise*dt)
-	Q.Set(3, 3, f.cfg.SpeedProcNoise*dt)
+	s.Q.SetZero()
+	s.Q.Set(0, 0, f.cfg.PosProcNoise*dt)
+	s.Q.Set(1, 1, f.cfg.PosProcNoise*dt)
+	s.Q.Set(2, 2, f.cfg.HeadingProcNoise*dt)
+	s.Q.Set(3, 3, f.cfg.SpeedProcNoise*dt)
 
-	f.p = F.Mul(f.p).Mul(F.T()).Add(Q).Symmetrize()
+	// p ← sym(F·p·Fᵀ + Q), on scratch.
+	s.FT.TOf(s.F)
+	s.t44a.MulOf(s.F, f.p)
+	s.t44b.MulOf(s.t44a, s.FT)
+	s.t44b.AddOf(s.t44b, s.Q)
+	f.p.SymmetrizeOf(s.t44b)
 }
 
 // UpdateGNSS fuses a position fix. It returns the normalised innovation
@@ -149,24 +221,21 @@ func (f *EKF) UpdateGNSS(fix sensors.GNSSFix) (nis float64, accepted bool) {
 	if !fix.Valid {
 		return 0, false
 	}
-	// H selects [x, y].
-	H := NewMat(2, 4)
-	H.Set(0, 0, 1)
-	H.Set(1, 1, 1)
-	R := NewMat(2, 2)
-	r2 := f.cfg.GNSSPosStdDev * f.cfg.GNSSPosStdDev
-	R.Set(0, 0, r2)
-	R.Set(1, 1, r2)
+	s := &f.s
 
 	// Innovation.
-	y := NewMat(2, 1)
-	y.Set(0, 0, fix.Pos.X-f.x.At(0, 0))
-	y.Set(1, 0, fix.Pos.Y-f.x.At(1, 0))
+	s.y2.Set(0, 0, fix.Pos.X-f.x.At(0, 0))
+	s.y2.Set(1, 0, fix.Pos.Y-f.x.At(1, 0))
 
-	S := H.Mul(f.p).Mul(H.T()).Add(R)
-	SInv := S.Inv()
-	nisM := y.T().Mul(SInv).Mul(y)
-	nis = nisM.At(0, 0)
+	// S = H·p·Hᵀ + R; NIS = yᵀ·S⁻¹·y, on scratch.
+	s.t24.MulOf(s.h2, f.p)
+	s.s2.MulOf(s.t24, s.h2T)
+	s.s2.AddOf(s.s2, s.r2)
+	s.s2inv.InvOf(s.s2, s.aug2)
+	s.y2T.TOf(s.y2)
+	s.t12.MulOf(s.y2T, s.s2inv)
+	s.nis1.MulOf(s.t12, s.y2)
+	nis = s.nis1.At(0, 0)
 	f.lastNIS = nis
 
 	if f.cfg.GateThreshold > 0 && nis > f.cfg.GateThreshold {
@@ -177,12 +246,18 @@ func (f *EKF) UpdateGNSS(fix sensors.GNSSFix) (nis float64, accepted bool) {
 	f.lastAccepted = true
 	f.rejectStreak = 0
 
-	K := f.p.Mul(H.T()).Mul(SInv)
-	dx := K.Mul(y)
-	f.x = f.x.Add(dx)
+	// K = p·Hᵀ·S⁻¹; x ← x + K·y; p ← sym((I − K·H)·p).
+	s.pht42.MulOf(f.p, s.h2T)
+	s.k42.MulOf(s.pht42, s.s2inv)
+	s.dx.MulOf(s.k42, s.y2)
+	f.x.AddOf(f.x, s.dx)
 	f.x.Set(2, 0, geom.NormalizeAngle(f.x.At(2, 0)))
 	f.x.Set(3, 0, math.Max(0, f.x.At(3, 0)))
-	f.p = Eye(4).Sub(K.Mul(H)).Mul(f.p).Symmetrize()
+	s.t44a.MulOf(s.k42, s.h2)
+	s.t44b.SetEye()
+	s.t44b.SubOf(s.t44b, s.t44a)
+	s.t44c.MulOf(s.t44b, f.p)
+	f.p.SymmetrizeOf(s.t44c)
 	return nis, true
 }
 
@@ -192,17 +267,22 @@ func (f *EKF) UpdateOdom(r sensors.OdomReading) {
 	if !r.Valid {
 		return
 	}
-	H := NewMat(1, 4)
-	H.Set(0, 3, 1)
-	R := NewMat(1, 1)
-	R.Set(0, 0, f.cfg.OdomSpeedStdev*f.cfg.OdomSpeedStdev)
-	y := NewMat(1, 1)
-	y.Set(0, 0, r.Speed-f.x.At(3, 0))
-	S := H.Mul(f.p).Mul(H.T()).Add(R)
-	K := f.p.Mul(H.T()).Mul(S.Inv())
-	f.x = f.x.Add(K.Mul(y))
+	s := &f.s
+	s.y1.Set(0, 0, r.Speed-f.x.At(3, 0))
+	s.t14.MulOf(s.h1, f.p)
+	s.s1.MulOf(s.t14, s.h1T)
+	s.s1.AddOf(s.s1, s.r1)
+	s.s1inv.InvOf(s.s1, s.aug1)
+	s.pht41.MulOf(f.p, s.h1T)
+	s.k41.MulOf(s.pht41, s.s1inv)
+	s.dx.MulOf(s.k41, s.y1)
+	f.x.AddOf(f.x, s.dx)
 	f.x.Set(3, 0, math.Max(0, f.x.At(3, 0)))
-	f.p = Eye(4).Sub(K.Mul(H)).Mul(f.p).Symmetrize()
+	s.t44a.MulOf(s.k41, s.h1)
+	s.t44b.SetEye()
+	s.t44b.SubOf(s.t44b, s.t44a)
+	s.t44c.MulOf(s.t44b, f.p)
+	f.p.SymmetrizeOf(s.t44c)
 }
 
 // Estimate returns the current fused estimate.

@@ -151,22 +151,24 @@ type Comfort struct {
 }
 
 // ComfortFrom computes comfort measures from the standard sim trace
-// signals (speed, steer, accel_cmd). Missing signals yield zeros.
+// signals (speed, steer, accel_cmd). Missing signals yield zeros. It reads
+// the columnar views directly (Times/Values) rather than materialising
+// row-oriented copies.
 func ComfortFrom(tr *trace.Trace) Comfort {
 	var c Comfort
 	if tr == nil {
 		return c
 	}
-	speeds := tr.Samples("speed")
-	steers := tr.Samples("steer")
-	accels := tr.Samples("accel_cmd")
+	speedT, speedV := columnViews(tr, "speed")
+	_, steerV := columnViews(tr, "steer")
+	accelT, accelV := columnViews(tr, "accel_cmd")
 
 	// Lateral acceleration via steer → yaw rate needs wheelbase; use the
 	// recorded steer as a proxy signal for reversals and rely on speed ×
 	// yaw-rate-like measure only when both present and aligned.
-	n := len(speeds)
-	if len(steers) < n {
-		n = len(steers)
+	n := len(speedV)
+	if len(steerV) < n {
+		n = len(steerV)
 	}
 	var sumSq float64
 	var count int
@@ -176,37 +178,47 @@ func ComfortFrom(tr *trace.Trace) Comfort {
 		// the comfort figures compare configurations, so a shared constant
 		// cancels out.
 		const wheelbase = 2.8
-		v := speeds[i].Value
-		yaw := v * math.Tan(steers[i].Value) / wheelbase
+		v := speedV[i]
+		yaw := v * math.Tan(steerV[i]) / wheelbase
 		lat := math.Abs(v * yaw)
 		if lat > c.MaxLatAccel {
 			c.MaxLatAccel = lat
 		}
 		sumSq += lat * lat
 		count++
-		if steers[i].Value*steers[i-1].Value < 0 && math.Abs(steers[i].Value-steers[i-1].Value) > 0.05 {
+		if steerV[i]*steerV[i-1] < 0 && math.Abs(steerV[i]-steerV[i-1]) > 0.05 {
 			reversals++
 		}
 	}
 	if count > 0 {
 		c.RMSLatAccel = math.Sqrt(sumSq / float64(count))
 	}
-	for i := 1; i < len(accels); i++ {
-		dt := accels[i].T - accels[i-1].T
+	for i := 1; i < len(accelV); i++ {
+		dt := accelT[i] - accelT[i-1]
 		if dt <= 0 {
 			continue
 		}
-		if j := math.Abs(accels[i].Value-accels[i-1].Value) / dt; j > c.MaxJerk {
+		if j := math.Abs(accelV[i]-accelV[i-1]) / dt; j > c.MaxJerk {
 			c.MaxJerk = j
 		}
 	}
 	if n > 1 {
-		dur := speeds[n-1].T - speeds[0].T
+		dur := speedT[n-1] - speedT[0]
 		if dur > 0 {
 			c.SteerReversalsPerMin = float64(reversals) / dur * 60
 		}
 	}
 	return c
+}
+
+// columnViews returns the time/value views for a signal without copying,
+// nil/nil when the signal is absent.
+func columnViews(tr *trace.Trace, signal string) (t, v []float64) {
+	if tr.Len(signal) == 0 {
+		return nil, nil
+	}
+	c := tr.Column(signal)
+	return c.Times(), c.Values()
 }
 
 // ConfusionMatrix accumulates diagnosis outcomes per ground-truth label.

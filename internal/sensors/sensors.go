@@ -123,6 +123,7 @@ type GNSS struct {
 	nx, ny  noise
 	nv      noise
 	pending []GNSSFix // latency queue, ordered by delivery time
+	out     []GNSSFix // reused delivery buffer returned by Poll
 }
 
 // NewGNSS builds a GNSS model with the given seed.
@@ -142,7 +143,9 @@ func NewGNSS(cfg GNSSConfig, seed int64) *GNSS {
 func (g *GNSS) Rate() float64 { return g.cfg.Rate }
 
 // Poll observes the true state at time t. It returns any fixes whose
-// delivery latency has elapsed by t, in delivery order.
+// delivery latency has elapsed by t, in delivery order. The returned slice
+// is a view into a buffer owned by the sensor and is only valid until the
+// next Poll; callers that retain fixes must copy them.
 func (g *GNSS) Poll(truth vehicle.State, t float64) []GNSSFix {
 	if g.s.due(t) {
 		fix := GNSSFix{
@@ -154,18 +157,25 @@ func (g *GNSS) Poll(truth vehicle.State, t float64) []GNSSFix {
 		}
 		g.pending = append(g.pending, fix)
 	}
-	return drainDue(&g.pending, t, func(f GNSSFix) float64 { return f.T })
+	g.out = drainDue(&g.pending, g.out, t, func(f GNSSFix) float64 { return f.T })
+	return g.out
 }
 
-// drainDue pops readings with delivery time ≤ t from the queue, which is
-// kept ordered by delivery time.
-func drainDue[T any](q *[]T, t float64, when func(T) float64) []T {
-	var out []T
+// drainDue moves readings with delivery time ≤ t from the queue (kept
+// ordered by delivery time) into out, reusing out's backing array. The
+// remainder of the queue is compacted to the front so both slices keep
+// their capacity forever: after warm-up the sensor delivery path performs
+// no heap allocation.
+func drainDue[T any](q *[]T, out []T, t float64, when func(T) float64) []T {
+	out = out[:0]
 	i := 0
 	for ; i < len(*q) && when((*q)[i]) <= t+1e-12; i++ {
 		out = append(out, (*q)[i])
 	}
-	*q = (*q)[i:]
+	if i > 0 {
+		n := copy(*q, (*q)[i:])
+		*q = (*q)[:n]
+	}
 	return out
 }
 
@@ -211,6 +221,7 @@ type IMU struct {
 	na      noise
 	nh      noise
 	pending []IMUReading
+	out     []IMUReading // reused delivery buffer returned by Poll
 }
 
 // NewIMU builds an IMU model with the given seed.
@@ -230,6 +241,8 @@ func NewIMU(cfg IMUConfig, seed int64) *IMU {
 func (m *IMU) Rate() float64 { return m.cfg.Rate }
 
 // Poll observes the true state at time t and returns readings due by t.
+// The returned slice is a view into a buffer owned by the sensor and is
+// only valid until the next Poll.
 func (m *IMU) Poll(truth vehicle.State, t float64) []IMUReading {
 	if m.s.due(t) {
 		r := IMUReading{
@@ -241,7 +254,8 @@ func (m *IMU) Poll(truth vehicle.State, t float64) []IMUReading {
 		}
 		m.pending = append(m.pending, r)
 	}
-	return drainDue(&m.pending, t, func(r IMUReading) float64 { return r.T })
+	m.out = drainDue(&m.pending, m.out, t, func(r IMUReading) float64 { return r.T })
+	return m.out
 }
 
 // OdomConfig parameterises the wheel-odometry model.
@@ -270,6 +284,7 @@ type Odometer struct {
 	s       sampler
 	nv      noise
 	pending []OdomReading
+	out     []OdomReading // reused delivery buffer returned by Poll
 }
 
 // NewOdometer builds an odometry model with the given seed.
@@ -286,6 +301,8 @@ func NewOdometer(cfg OdomConfig, seed int64) *Odometer {
 func (o *Odometer) Rate() float64 { return o.cfg.Rate }
 
 // Poll observes the true state at time t and returns readings due by t.
+// The returned slice is a view into a buffer owned by the sensor and is
+// only valid until the next Poll.
 func (o *Odometer) Poll(truth vehicle.State, t float64) []OdomReading {
 	if o.s.due(t) {
 		r := OdomReading{
@@ -295,5 +312,6 @@ func (o *Odometer) Poll(truth vehicle.State, t float64) []OdomReading {
 		}
 		o.pending = append(o.pending, r)
 	}
-	return drainDue(&o.pending, t, func(r OdomReading) float64 { return r.T })
+	o.out = drainDue(&o.pending, o.out, t, func(r OdomReading) float64 { return r.T })
+	return o.out
 }

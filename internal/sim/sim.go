@@ -305,15 +305,25 @@ func Run(cfg Config) (*Result, error) {
 	ekf := newLocalizer(0, start, cfg.InitialSpeed)
 	dr := fusion.NewDeadReckoner(0, start, cfg.InitialSpeed)
 
-	var tr *trace.Trace
-	if !cfg.DisableTrace {
-		tr = trace.New()
-	}
-
-	res := &Result{Trace: tr}
+	res := &Result{}
 	engineDT := 1 / cfg.EngineRate
 	controlEvery := int(math.Round(cfg.EngineRate / cfg.ControlRate))
 	controlDT := engineDT * float64(controlEvery)
+
+	// Trace recording is columnar: the column handles are resolved once,
+	// before the loop, and each column preallocates the full horizon
+	// (duration × control rate), so steady-state recording is a pair of
+	// slice appends per signal — no map lookups, no reallocation.
+	var tc *stepColumns
+	if !cfg.DisableTrace {
+		tr := trace.New()
+		tr.Reserve(int(math.Ceil(cfg.Duration/controlDT)) + 1)
+		tc = newStepColumns(tr)
+		res.Trace = tr
+	}
+	if cfg.RecordFrames {
+		res.Frames = make([]core.Frame, 0, int(math.Ceil(cfg.Duration/controlDT))+1)
+	}
 
 	// Observability: resolve handles once so the loop pays only nil checks
 	// when cfg.Obs is nil. Per-control-step timing uses chained clock reads
@@ -361,7 +371,9 @@ func Run(cfg Config) (*Result, error) {
 		t float64
 		p geom.Vec2
 	}
-	var fixHist []stampedFix
+	// ~1 s of fixes at 10 Hz plus slack; eviction compacts in place so the
+	// backing array is allocated once per run.
+	fixHist := make([]stampedFix, 0, 64)
 	derivedCourse, derivedSpeed := start.Heading, cfg.InitialSpeed
 
 	var lastIMU sensors.IMUReading
@@ -467,8 +479,13 @@ func Run(cfg Config) (*Result, error) {
 			}
 			// Receiver-derived course/speed over the smoothing baseline.
 			fixHist = append(fixHist, stampedFix{t: t, p: fix.Pos})
-			for len(fixHist) > 1 && t-fixHist[0].t > derivedBaseline+0.05 {
-				fixHist = fixHist[1:]
+			evict := 0
+			for evict < len(fixHist)-1 && t-fixHist[evict].t > derivedBaseline+0.05 {
+				evict++
+			}
+			if evict > 0 {
+				n := copy(fixHist, fixHist[evict:])
+				fixHist = fixHist[:n]
 			}
 			if oldest := fixHist[0]; t-oldest.t > derivedBaseline*0.5 {
 				d := fix.Pos.Sub(oldest.p)
@@ -497,9 +514,12 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Guard.Enabled {
 			assertionHit := false
 			if cfg.Guard.AssertionTrigger && cfg.Monitor != nil {
-				for _, v := range cfg.Monitor.Violations()[seenViolations:] {
+				for i := seenViolations; i < cfg.Monitor.NumViolations(); i++ {
 					// Only online critical assertions drive recovery; A12
 					// reads ground truth and exists for offline scoring.
+					// Indexed access avoids the per-step copy Violations()
+					// would make of the whole record.
+					v := cfg.Monitor.ViolationAt(i)
 					if v.Severity == core.Critical && v.AssertionID != "A12" {
 						assertionHit = true
 					}
@@ -518,7 +538,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if cfg.Monitor != nil {
-			seenViolations = len(cfg.Monitor.Violations())
+			seenViolations = cfg.Monitor.NumViolations()
 		}
 
 		if ev != nil {
@@ -638,26 +658,26 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		if tr != nil {
-			tr.MustRecord("true_x", t, truth.X)
-			tr.MustRecord("true_y", t, truth.Y)
-			tr.MustRecord("est_x", t, est.Pose.Pos.X)
-			tr.MustRecord("est_y", t, est.Pose.Pos.Y)
-			tr.MustRecord("gnss_x", t, lastFix.Pos.X)
-			tr.MustRecord("gnss_y", t, lastFix.Pos.Y)
-			tr.MustRecord("cte_true", t, trueCTE)
-			tr.MustRecord("cte_est", t, cte)
-			tr.MustRecord("speed", t, truth.Speed)
-			tr.MustRecord("target_speed", t, target)
-			recordFinite(tr, "steer", t, steer)
-			recordFinite(tr, "accel_cmd", t, accel)
-			tr.MustRecord("nis", t, nis)
-			tr.MustRecord("heading_err", t, headingErr)
-			tr.MustRecord("est_heading", t, est.Pose.Heading)
-			tr.MustRecord("imu_heading", t, lastIMU.Heading)
-			tr.MustRecord("curvature", t, kappa)
-			tr.MustRecord("progress", t, prog)
-			tr.MustRecord("fallback", t, boolTo01(inFallback))
+		if tc != nil {
+			tc.trueX.MustAppend(t, truth.X)
+			tc.trueY.MustAppend(t, truth.Y)
+			tc.estX.MustAppend(t, est.Pose.Pos.X)
+			tc.estY.MustAppend(t, est.Pose.Pos.Y)
+			tc.gnssX.MustAppend(t, lastFix.Pos.X)
+			tc.gnssY.MustAppend(t, lastFix.Pos.Y)
+			tc.cteTrue.MustAppend(t, trueCTE)
+			tc.cteEst.MustAppend(t, cte)
+			tc.speed.MustAppend(t, truth.Speed)
+			tc.targetSpeed.MustAppend(t, target)
+			appendFinite(tc.steer, t, steer)
+			appendFinite(tc.accelCmd, t, accel)
+			tc.nis.MustAppend(t, nis)
+			tc.headingErr.MustAppend(t, headingErr)
+			tc.estHeading.MustAppend(t, est.Pose.Heading)
+			tc.imuHeading.MustAppend(t, lastIMU.Heading)
+			tc.curvature.MustAppend(t, kappa)
+			tc.progress.MustAppend(t, prog)
+			tc.fallback.MustAppend(t, boolTo01(inFallback))
 		}
 
 		if stepNS != nil {
@@ -720,12 +740,46 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// recordFinite records a signal sample, silently skipping non-finite
-// values: the trace layer stores finite samples only, and a mutated
-// controller (WrapLateral) may legitimately emit NaN commands.
-func recordFinite(tr *trace.Trace, signal string, t, v float64) {
+// stepColumns holds the resolved trace column handles for every signal the
+// step loop records, so the loop performs no per-step map lookups. The
+// declaration order matches the original Record order, which fixes the
+// signal first-appearance order (and hence CSV column order) byte-for-byte.
+type stepColumns struct {
+	trueX, trueY           *trace.Column
+	estX, estY             *trace.Column
+	gnssX, gnssY           *trace.Column
+	cteTrue, cteEst        *trace.Column
+	speed, targetSpeed     *trace.Column
+	steer, accelCmd        *trace.Column
+	nis                    *trace.Column
+	headingErr, estHeading *trace.Column
+	imuHeading             *trace.Column
+	curvature, progress    *trace.Column
+	fallback               *trace.Column
+}
+
+func newStepColumns(tr *trace.Trace) *stepColumns {
+	return &stepColumns{
+		trueX: tr.Column("true_x"), trueY: tr.Column("true_y"),
+		estX: tr.Column("est_x"), estY: tr.Column("est_y"),
+		gnssX: tr.Column("gnss_x"), gnssY: tr.Column("gnss_y"),
+		cteTrue: tr.Column("cte_true"), cteEst: tr.Column("cte_est"),
+		speed: tr.Column("speed"), targetSpeed: tr.Column("target_speed"),
+		steer: tr.Column("steer"), accelCmd: tr.Column("accel_cmd"),
+		nis:        tr.Column("nis"),
+		headingErr: tr.Column("heading_err"), estHeading: tr.Column("est_heading"),
+		imuHeading: tr.Column("imu_heading"),
+		curvature:  tr.Column("curvature"), progress: tr.Column("progress"),
+		fallback: tr.Column("fallback"),
+	}
+}
+
+// appendFinite appends a sample, silently skipping non-finite values: the
+// trace layer stores finite samples only, and a mutated controller
+// (WrapLateral) may legitimately emit NaN commands.
+func appendFinite(c *trace.Column, t, v float64) {
 	if !math.IsNaN(v) && !math.IsInf(v, 0) {
-		tr.MustRecord(signal, t, v)
+		c.MustAppend(t, v)
 	}
 }
 

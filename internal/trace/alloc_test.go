@@ -1,0 +1,40 @@
+package trace
+
+import "testing"
+
+// TestColumnAppendAllocs pins the zero-allocation recording contract: once
+// a trace has reserved its horizon, appending through a column handle does
+// not touch the heap.
+func TestColumnAppendAllocs(t *testing.T) {
+	tr := New()
+	tr.Reserve(2048)
+	c := tr.Column("x")
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		c.MustAppend(float64(i), float64(i)*2)
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("reserved column append allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestColumnGrowthAmortized checks appending far past the reserved capacity
+// stays amortized-constant (geometric growth), not per-append.
+func TestColumnGrowthAmortized(t *testing.T) {
+	tr := New()
+	c := tr.Column("x")
+	const n = 100000
+	next := 0.0 // keeps time monotone across AllocsPerRun's repeated calls
+	avg := testing.AllocsPerRun(1, func() {
+		for i := 0; i < n; i++ {
+			c.MustAppend(next, 0)
+			next++
+		}
+	})
+	// Geometric doubling of two float64 slices from zero reaches 100k
+	// samples in well under 100 allocations.
+	if avg > 100 {
+		t.Errorf("unreserved column took %.0f allocations for %d appends, want amortized growth (<100)", avg, n)
+	}
+}

@@ -2,6 +2,15 @@
 // simulation run and exports them as CSV or JSON. It substitutes for the
 // ROS-bag recordings of the original study: every experiment's "figure" is
 // rendered from a trace.
+//
+// Storage is columnar (struct-of-arrays): each signal holds two parallel
+// []float64 columns — times and values — preallocated via Reserve and grown
+// geometrically by append. The simulation engine resolves one *Column
+// handle per signal before its step loop and appends through it, so the
+// steady-state recording path performs no map lookups and no heap
+// allocation. Row-oriented accessors (Samples, At, Downsample) and the CSV/
+// JSON exports are preserved byte-for-byte on top of the columnar layout;
+// see DESIGN.md §13 for the memory model and ownership rules.
 package trace
 
 import (
@@ -20,16 +29,124 @@ type Sample struct {
 	Value float64
 }
 
+// Column is the columnar storage of one signal: parallel time/value slices
+// in recording order. A Column handle is the zero-allocation write path —
+// resolve it once (Trace.Column), then Append per step. Not safe for
+// concurrent use.
+type Column struct {
+	name string
+	t, v []float64
+}
+
+// Name returns the signal name.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of recorded samples.
+func (c *Column) Len() int { return len(c.t) }
+
+// Times returns the time column. The slice is a view owned by the trace:
+// callers must not modify it, and must not retain it across further
+// appends (growth may move the backing array).
+func (c *Column) Times() []float64 { return c.t }
+
+// Values returns the value column, under the same ownership rules as Times.
+func (c *Column) Values() []float64 { return c.v }
+
+// Sample returns the i-th sample (recording order).
+func (c *Column) Sample(i int) Sample { return Sample{T: c.t[i], Value: c.v[i]} }
+
+// Append records one sample, enforcing per-signal time monotonicity and
+// finite time (the same contract as Trace.Record). Appending into reserved
+// capacity does not allocate.
+func (c *Column) Append(t, value float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("trace: non-finite time %g for signal %q", t, c.name)
+	}
+	if n := len(c.t); n > 0 && t < c.t[n-1] {
+		return fmt.Errorf("trace: time went backwards for %q: %g after %g", c.name, t, c.t[n-1])
+	}
+	c.t = append(c.t, t)
+	c.v = append(c.v, value)
+	return nil
+}
+
+// MustAppend is Append for engine-internal signals whose preconditions are
+// established by the caller; it panics on error.
+func (c *Column) MustAppend(t, value float64) {
+	if err := c.Append(t, value); err != nil {
+		panic(err)
+	}
+}
+
+// reserve grows the column's capacity to hold at least n samples without
+// further allocation.
+func (c *Column) reserve(n int) {
+	if cap(c.t) < n {
+		nt := make([]float64, len(c.t), n)
+		copy(nt, c.t)
+		c.t = nt
+	}
+	if cap(c.v) < n {
+		nv := make([]float64, len(c.v), n)
+		copy(nv, c.v)
+		c.v = nv
+	}
+}
+
 // Trace accumulates samples for a set of named signals. It is not safe for
 // concurrent use; the simulation engine owns it for the duration of a run.
 type Trace struct {
-	signals map[string][]Sample
-	order   []string // insertion order of first appearance
+	cols    []*Column      // first-appearance order
+	index   map[string]int // signal name → cols index
+	reserve int            // capacity hint applied to new columns
 }
 
 // New returns an empty trace.
 func New() *Trace {
-	return &Trace{signals: make(map[string][]Sample)}
+	return &Trace{index: make(map[string]int)}
+}
+
+// Reserve hints the expected per-signal sample count (e.g. duration/dt from
+// the simulation horizon): existing columns grow to that capacity and
+// columns created later preallocate it, so steady-state recording never
+// reallocates.
+func (tr *Trace) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	tr.reserve = n
+	for _, c := range tr.cols {
+		c.reserve(n)
+	}
+}
+
+// Column returns the handle for the named signal, creating the column on
+// first use. It panics on an empty name — handle resolution is static
+// engine configuration, unlike Record which reports errors. The handle
+// stays valid for the lifetime of the trace.
+func (tr *Trace) Column(signal string) *Column {
+	if signal == "" {
+		panic("trace: empty signal name")
+	}
+	if i, ok := tr.index[signal]; ok {
+		return tr.cols[i]
+	}
+	c := &Column{name: signal}
+	if tr.reserve > 0 {
+		c.t = make([]float64, 0, tr.reserve)
+		c.v = make([]float64, 0, tr.reserve)
+	}
+	tr.index[signal] = len(tr.cols)
+	tr.cols = append(tr.cols, c)
+	return c
+}
+
+// lookup returns the column for a signal, nil if absent (never creates).
+func (tr *Trace) lookup(signal string) *Column {
+	if i, ok := tr.index[signal]; ok {
+		return tr.cols[i]
+	}
+	return nil
 }
 
 // Record appends a sample for the named signal. Time must be non-decreasing
@@ -39,18 +156,7 @@ func (tr *Trace) Record(signal string, t, value float64) error {
 	if signal == "" {
 		return fmt.Errorf("trace: empty signal name")
 	}
-	if math.IsNaN(t) || math.IsInf(t, 0) {
-		return fmt.Errorf("trace: non-finite time %g for signal %q", t, signal)
-	}
-	ss, ok := tr.signals[signal]
-	if !ok {
-		tr.order = append(tr.order, signal)
-	}
-	if n := len(ss); n > 0 && t < ss[n-1].T {
-		return fmt.Errorf("trace: time went backwards for %q: %g after %g", signal, t, ss[n-1].T)
-	}
-	tr.signals[signal] = append(ss, Sample{T: t, Value: value})
-	return nil
+	return tr.Column(signal).Append(t, value)
 }
 
 // MustRecord is Record for simulator-internal signals whose preconditions
@@ -63,38 +169,60 @@ func (tr *Trace) MustRecord(signal string, t, value float64) {
 
 // Signals returns the signal names in first-appearance order.
 func (tr *Trace) Signals() []string {
-	out := make([]string, len(tr.order))
-	copy(out, tr.order)
+	out := make([]string, len(tr.cols))
+	for i, c := range tr.cols {
+		out[i] = c.name
+	}
 	return out
 }
 
-// Samples returns the recorded samples for a signal (nil if absent). The
-// returned slice is owned by the trace; callers must not modify it.
-func (tr *Trace) Samples(signal string) []Sample { return tr.signals[signal] }
+// Samples returns the recorded samples for a signal (nil if absent) as a
+// freshly materialised row-oriented copy. Hot paths should prefer the
+// columnar views (Column, Times, Values) which do not copy.
+func (tr *Trace) Samples(signal string) []Sample {
+	c := tr.lookup(signal)
+	if c == nil {
+		return nil
+	}
+	out := make([]Sample, len(c.t))
+	for i := range c.t {
+		out[i] = Sample{T: c.t[i], Value: c.v[i]}
+	}
+	return out
+}
 
 // Len returns the number of samples recorded for a signal.
-func (tr *Trace) Len(signal string) int { return len(tr.signals[signal]) }
+func (tr *Trace) Len(signal string) int {
+	c := tr.lookup(signal)
+	if c == nil {
+		return 0
+	}
+	return c.Len()
+}
 
 // At returns the value of signal at time t using zero-order hold (the value
 // of the latest sample with T ≤ t). ok is false if the signal has no sample
 // at or before t.
 func (tr *Trace) At(signal string, t float64) (v float64, ok bool) {
-	ss := tr.signals[signal]
+	c := tr.lookup(signal)
+	if c == nil {
+		return 0, false
+	}
 	// First sample strictly after t.
-	i := sort.Search(len(ss), func(i int) bool { return ss[i].T > t })
+	i := sort.Search(len(c.t), func(i int) bool { return c.t[i] > t })
 	if i == 0 {
 		return 0, false
 	}
-	return ss[i-1].Value, true
+	return c.v[i-1], true
 }
 
 // Last returns the most recent sample of a signal.
 func (tr *Trace) Last(signal string) (Sample, bool) {
-	ss := tr.signals[signal]
-	if len(ss) == 0 {
+	c := tr.lookup(signal)
+	if c == nil || c.Len() == 0 {
 		return Sample{}, false
 	}
-	return ss[len(ss)-1], true
+	return c.Sample(c.Len() - 1), true
 }
 
 // Stats summarises a signal.
@@ -105,17 +233,18 @@ type Stats struct {
 	AbsMax         float64
 }
 
-// SignalStats computes summary statistics for a signal. The zero Stats is
-// returned for an empty or missing signal.
-func (tr *Trace) SignalStats(signal string) Stats {
-	ss := tr.signals[signal]
-	if len(ss) == 0 {
+// statsOver computes statistics over the index range [lo, hi) of a column,
+// with the same accumulation order as the original row-oriented scan so
+// results are bit-identical.
+func statsOver(c *Column, lo, hi int) Stats {
+	n := hi - lo
+	if c == nil || n <= 0 {
 		return Stats{}
 	}
-	st := Stats{Count: len(ss), Min: math.Inf(1), Max: math.Inf(-1)}
+	st := Stats{Count: n, Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum, sumSq float64
-	for _, s := range ss {
-		v := s.Value
+	for i := lo; i < hi; i++ {
+		v := c.v[i]
 		sum += v
 		sumSq += v * v
 		if v < st.Min {
@@ -128,21 +257,36 @@ func (tr *Trace) SignalStats(signal string) Stats {
 			st.AbsMax = a
 		}
 	}
-	st.Mean = sum / float64(len(ss))
-	st.RMS = math.Sqrt(sumSq / float64(len(ss)))
+	st.Mean = sum / float64(n)
+	st.RMS = math.Sqrt(sumSq / float64(n))
 	return st
+}
+
+// window returns the index range [lo, hi) of samples with T in [t0, t1].
+func (c *Column) window(t0, t1 float64) (lo, hi int) {
+	lo = sort.Search(len(c.t), func(i int) bool { return c.t[i] >= t0 })
+	hi = sort.Search(len(c.t), func(i int) bool { return c.t[i] > t1 })
+	return lo, hi
+}
+
+// SignalStats computes summary statistics for a signal. The zero Stats is
+// returned for an empty or missing signal.
+func (tr *Trace) SignalStats(signal string) Stats {
+	c := tr.lookup(signal)
+	if c == nil {
+		return Stats{}
+	}
+	return statsOver(c, 0, c.Len())
 }
 
 // WindowStats computes statistics over samples with T in [t0, t1].
 func (tr *Trace) WindowStats(signal string, t0, t1 float64) Stats {
-	ss := tr.signals[signal]
-	sub := New()
-	for _, s := range ss {
-		if s.T >= t0 && s.T <= t1 {
-			sub.MustRecord(signal, s.T, s.Value)
-		}
+	c := tr.lookup(signal)
+	if c == nil {
+		return Stats{}
 	}
-	return sub.SignalStats(signal)
+	lo, hi := c.window(t0, t1)
+	return statsOver(c, lo, hi)
 }
 
 // WriteCSV writes the trace as a wide CSV: a time column (the union of all
@@ -158,8 +302,8 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	row := make([]string, len(header))
 	for _, t := range times {
 		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
-		for i, sig := range tr.order {
-			if v, ok := tr.At(sig, t); ok {
+		for i, c := range tr.cols {
+			if v, ok := tr.At(c.name, t); ok {
 				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
 			} else {
 				row[i+1] = ""
@@ -176,11 +320,11 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 func (tr *Trace) unionTimes() []float64 {
 	seen := make(map[float64]struct{})
 	var times []float64
-	for _, ss := range tr.signals {
-		for _, s := range ss {
-			if _, ok := seen[s.T]; !ok {
-				seen[s.T] = struct{}{}
-				times = append(times, s.T)
+	for _, c := range tr.cols {
+		for _, t := range c.t {
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				times = append(times, t)
 			}
 		}
 	}
@@ -194,13 +338,14 @@ func (tr *Trace) unionTimes() []float64 {
 // omitted; the originals are never aliased.
 func (tr *Trace) Slice(t0, t1 float64) *Trace {
 	out := New()
-	for _, sig := range tr.order {
-		ss := tr.signals[sig]
-		lo := sort.Search(len(ss), func(i int) bool { return ss[i].T >= t0 })
-		hi := sort.Search(len(ss), func(i int) bool { return ss[i].T > t1 })
-		for _, s := range ss[lo:hi] {
-			out.MustRecord(sig, s.T, s.Value)
+	for _, c := range tr.cols {
+		lo, hi := c.window(t0, t1)
+		if hi <= lo {
+			continue
 		}
+		oc := out.Column(c.name)
+		oc.t = append(make([]float64, 0, hi-lo), c.t[lo:hi]...)
+		oc.v = append(make([]float64, 0, hi-lo), c.v[lo:hi]...)
 	}
 	return out
 }
@@ -212,9 +357,14 @@ type jsonTrace struct {
 }
 
 // MarshalJSON serialises the trace, so a *Trace can embed directly in
-// larger artifacts (forensic bundles).
+// larger artifacts (forensic bundles). The row-oriented wire format is
+// unchanged from the pre-columnar representation.
 func (tr *Trace) MarshalJSON() ([]byte, error) {
-	return json.Marshal(jsonTrace{Signals: tr.signals, Order: tr.order})
+	sig := make(map[string][]Sample, len(tr.cols))
+	for _, c := range tr.cols {
+		sig[c.name] = tr.Samples(c.name)
+	}
+	return json.Marshal(jsonTrace{Signals: sig, Order: tr.Signals()})
 }
 
 // UnmarshalJSON parses a serialised trace, validating per-signal time
@@ -257,17 +407,18 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 // Downsample returns a copy of one signal's samples keeping roughly every
 // n-th sample (always including first and last), for compact figure output.
 func (tr *Trace) Downsample(signal string, n int) []Sample {
-	ss := tr.signals[signal]
-	if n <= 1 || len(ss) <= 2 {
-		out := make([]Sample, len(ss))
-		copy(out, ss)
-		return out
+	c := tr.lookup(signal)
+	if c == nil {
+		return nil
+	}
+	if n <= 1 || c.Len() <= 2 {
+		return tr.Samples(signal)
 	}
 	var out []Sample
-	for i := 0; i < len(ss); i += n {
-		out = append(out, ss[i])
+	for i := 0; i < c.Len(); i += n {
+		out = append(out, c.Sample(i))
 	}
-	if last := ss[len(ss)-1]; out[len(out)-1] != last {
+	if last := c.Sample(c.Len() - 1); out[len(out)-1] != last {
 		out = append(out, last)
 	}
 	return out
