@@ -9,9 +9,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke
+.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke stream-smoke
 
-check: vet build race golden fuzz-smoke
+check: vet build race golden stream-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,7 @@ golden:
 	$(GO) test ./internal/harness -run TestGolden
 	$(GO) test ./internal/events -run TestGoldenTimelineT4
 	$(GO) test ./internal/diagnosis -run TestGoldenReport
+	$(GO) test ./internal/service -run TestStreamGoldenTranscript
 
 # Rewrite the golden files after an intentional behaviour change; review
 # the diff before committing.
@@ -50,6 +51,15 @@ golden-update:
 	$(GO) test ./internal/harness -run TestGolden -update
 	$(GO) test ./internal/events -run TestGoldenTimelineT4 -update
 	$(GO) test ./internal/diagnosis -run TestGoldenReport -update
+	$(GO) test ./internal/service -run TestStreamGoldenTranscript -update-stream
+
+# Streaming-vs-batch equivalence gate: the differential suite feeding the
+# six scenario tracks through the online session at several chunk sizes,
+# plus the end-to-end streaming service tests (limits, drain, golden
+# transcript).
+stream-smoke:
+	$(GO) test ./internal/stream -run 'TestStreamMatchesBatch|TestSessionStreamsViolations' -count=1
+	$(GO) test ./internal/service -run 'TestStream' -count=1
 
 # Run each native fuzz target for $(FUZZTIME) on top of its committed seed
 # corpus — a cheap crash/contract smoke, not a deep campaign.
@@ -57,6 +67,7 @@ fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz FuzzSplineProject -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mutate -run '^$$' -fuzz FuzzMutantSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzStreamNDJSON -fuzztime $(FUZZTIME)
 
 # Regenerate every evaluation table/figure (see EXPERIMENTS.md).
 tables:

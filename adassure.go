@@ -33,7 +33,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 
 	"adassure/internal/attacks"
 	"adassure/internal/core"
@@ -48,6 +47,7 @@ import (
 	"adassure/internal/report"
 	"adassure/internal/runner"
 	"adassure/internal/sim"
+	"adassure/internal/stream"
 	"adassure/internal/trace"
 	"adassure/internal/track"
 	"adassure/internal/vehicle"
@@ -116,6 +116,21 @@ type (
 	Recording = offline.Recording
 	// RecordingMeta is the recording provenance.
 	RecordingMeta = offline.Meta
+	// StreamConfig configures an online monitoring session.
+	StreamConfig = stream.Config
+	// StreamSession is an incremental monitor over an unbounded frame
+	// stream (see internal/stream): bounded memory via a flight-recorder
+	// ring, a rolling diagnosis re-ranked on every closed violation
+	// episode, and typed events to an optional sink — with results
+	// identical to batch monitoring of the same frames.
+	StreamSession = stream.Session
+	// StreamEvent is one typed event emitted by a streaming session
+	// (violation opened/closed, diagnosis, heartbeat, frame rejected,
+	// session closed).
+	StreamEvent = stream.Event
+	// StreamStats is a concurrent-safe streaming-session counter
+	// snapshot.
+	StreamStats = stream.Stats
 	// Registry is the runtime-metrics registry (see internal/obs): atomic
 	// counters, gauges and fixed-bucket latency histograms the sim step
 	// loop, assertion monitor and scenario runner report into. Attach one
@@ -172,6 +187,12 @@ func NewCatalogMonitor(cfg CatalogConfig) *Monitor { return core.NewCatalogMonit
 
 // NewMonitor builds an empty Monitor for custom assertion sets.
 func NewMonitor() *Monitor { return core.NewMonitor() }
+
+// NewStreamSession opens an online monitoring session for incremental
+// frame ingest. Feed it typed frames with Ingest, NDJSON lines with
+// IngestLine, or a whole reader with Consume; Close flushes the final
+// session-closed event and returns the stats.
+func NewStreamSession(cfg StreamConfig) (*StreamSession, error) { return stream.New(cfg) }
 
 // NewAssertion wraps an evaluation closure as a custom Assertion; see also
 // the DSL helpers BoundAssertion, RateAssertion, ConsistencyAssertion.
@@ -525,34 +546,9 @@ func (s Scenario) RunContext(ctx context.Context) (*ScenarioResult, error) {
 // the config produces, so requesting e.g. "A12" without ground truth
 // enabled is an error rather than a silent no-op.
 func buildCatalogMonitor(cfg CatalogConfig, ids []string) (*Monitor, error) {
-	entries := core.NewCatalog(cfg)
-	if len(ids) == 0 {
-		m := core.NewMonitor()
-		for _, e := range entries {
-			m.Add(e.Assertion, e.Debounce)
-		}
-		return m, nil
-	}
-	want := make(map[string]bool, len(ids))
-	for _, id := range ids {
-		want[id] = true
-	}
-	// Add in catalog order so the evaluation order — and therefore the
-	// violation record — is independent of how the caller listed the IDs.
-	m := core.NewMonitor()
-	for _, e := range entries {
-		if want[e.Assertion.ID()] {
-			m.Add(e.Assertion, e.Debounce)
-			delete(want, e.Assertion.ID())
-		}
-	}
-	if len(want) > 0 {
-		unknown := make([]string, 0, len(want))
-		for id := range want {
-			unknown = append(unknown, id)
-		}
-		sort.Strings(unknown)
-		return nil, fmt.Errorf("adassure: unknown catalog assertion(s) %v", unknown)
+	m, err := core.NewCatalogMonitorWith(cfg, ids)
+	if err != nil {
+		return nil, fmt.Errorf("adassure: %w", err)
 	}
 	return m, nil
 }

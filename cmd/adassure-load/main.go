@@ -7,15 +7,22 @@
 //	adassure-load -target http://localhost:8080 [-n 100] [-c 8]
 //	    [-attack gnss-drift-spoof] [-duration 20] [-spread-seeds 0]
 //	    [-backoff] [-metrics out.json]
+//	adassure-load -stream [-n 16] [-c 4] [-heartbeat 0] ...
 //
 // With -spread-seeds 0 (the default) every request is identical, so
 // after the first simulation the run measures the cache-hit/coalescing
 // hot path. -spread-seeds K cycles the seed over K values, forcing K
 // distinct simulations and exercising the pool + backpressure instead.
+//
+// With -stream the tool records one scenario locally, then drives
+// POST /v1/stream with -n concurrent NDJSON frame-upload sessions and
+// reports frame throughput plus whole-session latency.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"adassure"
 	"adassure/internal/obs"
 	"adassure/internal/service"
 )
@@ -50,6 +58,8 @@ func run(argv []string, stdout, stderr *os.File) error {
 		backoff     = fs.Bool("backoff", false, "honour 429 Retry-After hints instead of recording and moving on")
 		metricsPath = fs.String("metrics", "", "write the client-side metrics snapshot to this file")
 		timeout     = fs.Duration("timeout", 10*time.Minute, "overall load-run budget")
+		streamMode  = fs.Bool("stream", false, "drive POST /v1/stream with NDJSON frame sessions instead of /v1/run")
+		heartbeat   = fs.Int("heartbeat", 0, "stream-mode heartbeat cadence in frames (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -66,6 +76,16 @@ func run(argv []string, stdout, stderr *os.File) error {
 	}
 
 	reg := obs.NewRegistry()
+	if *streamMode {
+		if err := runStream(ctx, client, reg, stdout, stderr, streamArgs{
+			track: *track, controller: *controller, attack: *attack,
+			duration: *duration, sessions: *n, concurrency: *conc,
+			heartbeat: *heartbeat,
+		}); err != nil {
+			return err
+		}
+		return writeMetricsIfAsked(reg, *metricsPath, stdout)
+	}
 	base := service.Request{
 		Track:      *track,
 		Controller: *controller,
@@ -85,20 +105,68 @@ func run(argv []string, stdout, stderr *os.File) error {
 		return err
 	}
 	report.Print(stdout)
+	return writeMetricsIfAsked(reg, *metricsPath, stdout)
+}
 
-	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := reg.WriteJSON(f); err != nil {
-			f.Close()
-			return fmt.Errorf("write metrics: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
+type streamArgs struct {
+	track, controller, attack string
+	duration                  float64
+	sessions, concurrency     int
+	heartbeat                 int
+}
+
+// runStream records the scenario once locally, renders its frames as
+// NDJSON and replays that document over the streaming endpoint with
+// args.concurrency parallel sessions.
+func runStream(ctx context.Context, client *service.Client, reg *obs.Registry, stdout, stderr *os.File, args streamArgs) error {
+	res, err := adassure.Scenario{
+		Track:        adassure.TrackName(args.track),
+		Controller:   adassure.ControllerName(args.controller),
+		Attack:       adassure.AttackName(args.attack),
+		Seed:         1,
+		Duration:     args.duration,
+		RecordFrames: true,
+	}.Run()
+	if err != nil {
+		return fmt.Errorf("record scenario: %w", err)
 	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range res.Recording.Frames {
+		if err := enc.Encode(&res.Recording.Frames[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "adassure-load: streaming %d frames x %d sessions (%d in flight)\n",
+		len(res.Recording.Frames), args.sessions, args.concurrency)
+	report, err := service.RunStreamLoad(ctx, client, buf.Bytes(), service.StreamLoadOptions{
+		Sessions:    args.sessions,
+		Concurrency: args.concurrency,
+		Heartbeat:   args.heartbeat,
+		Obs:         reg,
+	})
+	if err != nil {
+		return err
+	}
+	report.Print(stdout)
+	return nil
+}
+
+func writeMetricsIfAsked(reg *obs.Registry, path string, stdout *os.File) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "metrics written to %s\n", path)
 	return nil
 }

@@ -10,18 +10,26 @@
 //	adassure-offline segments rec.json                # multi-incident report
 //	adassure-offline diff rec.json -scale 0.75        # what tightening changes
 //	adassure-offline slice rec.json -from 18 -to 52   # diagnose a time window
+//	adassure-offline stream rec.json -speed 10        # replay as a live stream
+//
+// stream replays the recording through the online monitoring session
+// (internal/stream) at -speed times native rate (0 = as fast as
+// possible), writing the NDJSON event transcript to stdout and a
+// summary to stderr — the same events POST /v1/stream serves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"adassure"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adassure-offline (report|segments|diff|slice) <recording.json> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: adassure-offline (report|segments|diff|slice|stream) <recording.json> [flags]")
 	os.Exit(2)
 }
 
@@ -35,6 +43,8 @@ func main() {
 	gap := fs.Float64("gap", 5, "quiet gap (s) separating incidents")
 	from := fs.Float64("from", 0, "slice start (s)")
 	to := fs.Float64("to", 0, "slice end (s)")
+	speed := fs.Float64("speed", 0, "stream replay rate multiplier (1 = native, 0 = as fast as possible)")
+	heartbeat := fs.Int("heartbeat", 200, "stream heartbeat cadence in frames (0 = off)")
 	if err := fs.Parse(os.Args[3:]); err != nil {
 		os.Exit(2)
 	}
@@ -52,7 +62,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adassure-offline:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("recording: %s on %s (%s, seed %d), %d frames over %.1f s\n\n",
+	// In stream mode stdout carries the NDJSON event transcript, so the
+	// provenance banner goes to stderr with the summary instead.
+	banner := os.Stdout
+	if mode == "stream" {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "recording: %s on %s (%s, seed %d), %d frames over %.1f s\n\n",
 		rec.Meta.Attack, rec.Meta.Track, rec.Meta.Controller, rec.Meta.Seed,
 		len(rec.Frames), rec.Duration())
 
@@ -86,7 +102,53 @@ func main() {
 		}
 		vs := sub.Monitor(cfg)
 		fmt.Print(adassure.DiagnosisReport(vs, 3))
+	case "stream":
+		if err := streamReplay(rec, cfg, *speed, *heartbeat); err != nil {
+			fmt.Fprintln(os.Stderr, "adassure-offline:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}
+}
+
+// streamReplay pushes the recording through an online monitoring session
+// frame by frame, pacing inter-frame sleeps by the recorded timestamps
+// divided by speed (speed <= 0 replays without pacing). Events stream to
+// stdout as NDJSON; the closing summary lands on stderr.
+func streamReplay(rec *adassure.Recording, cfg adassure.CatalogConfig, speed float64, heartbeat int) error {
+	enc := json.NewEncoder(os.Stdout)
+	var events int64
+	sess, err := adassure.NewStreamSession(adassure.StreamConfig{
+		Catalog:   cfg,
+		Heartbeat: heartbeat,
+		Sink: func(e adassure.StreamEvent) {
+			events++
+			enc.Encode(&e)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := range rec.Frames {
+		if speed > 0 && i > 0 {
+			if dt := rec.Frames[i].T - rec.Frames[i-1].T; dt > 0 {
+				time.Sleep(time.Duration(dt / speed * float64(time.Second)))
+			}
+		}
+		if err := sess.Ingest(rec.Frames[i]); err != nil {
+			sess.Close()
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+	}
+	st := sess.Close()
+	elapsed := time.Since(start)
+	rate := float64(st.Frames) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "\nstreamed %d frames in %.2f s (%.0f frames/s): %d violations, %d events\n",
+		st.Frames, elapsed.Seconds(), rate, st.Violations, events)
+	for _, h := range sess.Diagnose() {
+		fmt.Fprintf(os.Stderr, "  %.2f  %s — %s\n", h.Confidence, h.Cause, h.Rationale)
+	}
+	return nil
 }

@@ -17,12 +17,20 @@
 //	adassure-server [-addr :8080] [-workers N] [-queue N]
 //	    [-cache-bytes 67108864] [-timeout 60s] [-max-duration 600]
 //	    [-retry-after 1s] [-pprof] [-metrics out.json]
+//	    [-stream-hz 2000] [-stream-session 5m] [-stream-error-budget 0]
 //
-// Endpoints: POST /v1/run, GET /v1/catalog, GET /healthz, GET /metrics,
-// and GET /debug/pprof (with -pprof). SIGINT/SIGTERM trigger a graceful
-// shutdown: the listener stops accepting, in-flight simulations drain
-// (up to -drain-timeout), and with -metrics a final registry snapshot is
-// written on exit.
+// POST /v1/stream serves online monitoring: chunked NDJSON frames in,
+// NDJSON events out over one full-duplex exchange, with per-session
+// limits on frame rate (-stream-hz), wall-clock lifetime
+// (-stream-session) and malformed-line tolerance (-stream-error-budget;
+// 0 = default of 10, negative = none).
+//
+// Endpoints: POST /v1/run, POST /v1/stream, GET /v1/catalog,
+// GET /healthz, GET /metrics, and GET /debug/pprof (with -pprof).
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
+// accepting, in-flight simulations drain and open streaming sessions
+// are closed with a drain event (up to -drain-timeout), and with
+// -metrics a final registry snapshot is written on exit.
 package main
 
 import (
@@ -62,6 +70,10 @@ func run(argv []string, stdout, stderr *os.File) error {
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 		metricsPath  = fs.String("metrics", "", "write a final metrics snapshot to this file on shutdown")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+		streamHz     = fs.Float64("stream-hz", 0, "per-stream-session frame rate cap (default 2000, negative disables)")
+		streamSess   = fs.Duration("stream-session", 0, "per-stream-session wall-clock cap (default 5m, negative disables)")
+		streamBudget = fs.Int("stream-error-budget", 0, "malformed NDJSON lines tolerated per stream session (default 10, negative = none)")
+		streamBeat   = fs.Int("stream-heartbeat", 0, "default stream heartbeat cadence in frames (default 200, negative = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -77,6 +89,12 @@ func run(argv []string, stdout, stderr *os.File) error {
 		RetryAfter:  *retryAfter,
 		Obs:         reg,
 		EnablePprof: *pprofOn,
+		Stream: service.StreamLimits{
+			MaxFrameHz:         *streamHz,
+			MaxSessionDuration: *streamSess,
+			ErrorBudget:        *streamBudget,
+			Heartbeat:          *streamBeat,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

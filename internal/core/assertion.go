@@ -168,6 +168,12 @@ type Monitor struct {
 	// appear as spans on track "<scope>assertion/<ID>".
 	events  *events.Recorder
 	evScope string
+
+	// Episode hooks (nil = none, the default). onOpen fires when a
+	// debounced episode is raised, onClose when its window runs fully
+	// clean again; see SetEpisodeHooks.
+	onOpen  func(Violation)
+	onClose func(Violation)
 }
 
 // NewMonitor builds an empty monitor.
@@ -210,6 +216,20 @@ func (e *monitored) attach(r *obs.Registry) {
 func (m *Monitor) AttachEvents(rec *events.Recorder, scope string) *Monitor {
 	m.events = rec
 	m.evScope = scope
+	return m
+}
+
+// SetEpisodeHooks registers callbacks invoked synchronously from Step at
+// episode transitions: open fires with the just-raised violation (its
+// Duration still zero), close fires with the completed violation after its
+// Duration is stamped. Episodes still open when the stream ends see no
+// close call — their recorded Duration stays zero, exactly as in the batch
+// record. This is the seam the streaming session (internal/stream) builds
+// its event feed and incremental diagnosis on; a nil hook costs one branch
+// per episode transition and nothing per frame. Hooks survive Reset.
+func (m *Monitor) SetEpisodeHooks(open, close func(Violation)) *Monitor {
+	m.onOpen = open
+	m.onClose = close
 	return m
 }
 
@@ -310,6 +330,9 @@ func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
 		})
 		e.raised.Inc()
 		m.violCtr.Inc()
+		if m.onOpen != nil {
+			m.onOpen(m.violations[e.openIdx])
+		}
 		if m.events != nil {
 			m.events.Begin(events.CatViolation, m.evScope+"assertion/"+e.a.ID(),
 				e.a.ID()+" "+e.a.Name(), f.T, map[string]float64{
@@ -323,6 +346,9 @@ func (m *Monitor) apply(e *monitored, f Frame, out Outcome) {
 		e.firstBreach = -1
 		if e.openIdx >= 0 {
 			m.violations[e.openIdx].Duration = f.T - m.violations[e.openIdx].T
+			if m.onClose != nil {
+				m.onClose(m.violations[e.openIdx])
+			}
 			e.openIdx = -1
 		}
 		if m.events != nil {

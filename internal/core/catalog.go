@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // CatalogConfig tunes the built-in assertion catalog.
@@ -79,6 +80,43 @@ func NewCatalogMonitor(cfg CatalogConfig) *Monitor {
 		m.Add(e.Assertion, e.Debounce)
 	}
 	return m
+}
+
+// NewCatalogMonitorWith builds a Monitor loaded with the configured
+// catalog, optionally restricted to an explicit assertion-ID subset (nil
+// or empty loads everything). Assertions are added in catalog order so the
+// evaluation order — and therefore the violation record — is independent
+// of how the caller listed the IDs. IDs the config does not produce (e.g.
+// "A12" without ground truth enabled) are an error rather than a silent
+// no-op.
+func NewCatalogMonitorWith(cfg CatalogConfig, ids []string) (*Monitor, error) {
+	entries := NewCatalog(cfg)
+	m := NewMonitor()
+	if len(ids) == 0 {
+		for _, e := range entries {
+			m.Add(e.Assertion, e.Debounce)
+		}
+		return m, nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for _, e := range entries {
+		if want[e.Assertion.ID()] {
+			m.Add(e.Assertion, e.Debounce)
+			delete(want, e.Assertion.ID())
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("core: unknown catalog assertion(s) %v", unknown)
+	}
+	return m, nil
 }
 
 // A1PositionJump asserts that consecutive GNSS fixes are kinematically

@@ -254,7 +254,15 @@ var ruleTable = []rule{
 // Diagnose ranks root-cause hypotheses for a violation record. An empty
 // record yields a single high-confidence CauseNone.
 func Diagnose(vs []core.Violation) []Hypothesis {
-	sig := Extract(vs)
+	return DiagnoseSignature(Extract(vs))
+}
+
+// DiagnoseSignature ranks root-cause hypotheses for an already-extracted
+// signature. Diagnose is Extract + DiagnoseSignature; the streaming
+// monitor calls this directly with an incrementally-maintained signature
+// (see RunningSignature) so rolling diagnosis over an unbounded stream
+// needs no replay of the violation record.
+func DiagnoseSignature(sig Signature) []Hypothesis {
 	if sig.Total == 0 {
 		return []Hypothesis{{Cause: CauseNone, Confidence: 1, Rationale: "no assertion violations recorded"}}
 	}

@@ -1,0 +1,130 @@
+package diagnosis
+
+import (
+	"math"
+	"sort"
+
+	"adassure/internal/core"
+)
+
+// RunningSignature maintains a violation signature incrementally, one
+// episode transition at a time, in O(registered assertions) memory — the
+// piece that lets the streaming monitor (internal/stream) run rolling
+// diagnosis over an unbounded frame stream without replaying the
+// violation record.
+//
+// The contract, enforced by TestRunningSignatureMatchesExtract and the
+// stream package's differential suite: after observing the same episode
+// transitions the batch monitor produced, Signature() is semantically
+// identical to Extract over the batch record — open episodes count their
+// longest duration as +Inf exactly like Extract treats Duration == 0 —
+// and Diagnose() therefore ranks the same hypotheses with the same
+// confidences.
+type RunningSignature struct {
+	episodes  map[string]int
+	closedMax map[string]float64 // longest closed episode per assertion
+	open      map[string]int     // currently-open episode count per assertion
+	firstSeen map[string]float64 // time of each assertion's first violation
+	order     []string           // assertion IDs in first-violation order
+	firstID   string
+	firstT    float64
+	total     int
+}
+
+// NewRunningSignature builds an empty running signature.
+func NewRunningSignature() *RunningSignature {
+	return &RunningSignature{
+		episodes:  map[string]int{},
+		closedMax: map[string]float64{},
+		open:      map[string]int{},
+		firstSeen: map[string]float64{},
+		firstT:    math.Inf(1),
+	}
+}
+
+// Observe records one raised violation. Call it at episode open with the
+// violation exactly as the monitor recorded it (Duration zero while the
+// episode is open; a violation that already carries a final duration —
+// e.g. when replaying a finished batch record — is folded in as closed).
+func (r *RunningSignature) Observe(v core.Violation) {
+	r.episodes[v.AssertionID]++
+	r.total++
+	if v.Duration > 0 {
+		if v.Duration > r.closedMax[v.AssertionID] {
+			r.closedMax[v.AssertionID] = v.Duration
+		}
+	} else {
+		r.open[v.AssertionID]++
+	}
+	if t, ok := r.firstSeen[v.AssertionID]; !ok || v.T < t {
+		if !ok {
+			r.order = append(r.order, v.AssertionID)
+		}
+		r.firstSeen[v.AssertionID] = v.T
+	}
+	if v.T < r.firstT {
+		r.firstT = v.T
+		r.firstID = v.AssertionID
+	}
+}
+
+// CloseEpisode records that one of the assertion's open episodes finished
+// with the given duration. Unmatched closes (no open episode) are ignored
+// rather than corrupting the open count.
+func (r *RunningSignature) CloseEpisode(assertionID string, duration float64) {
+	if r.open[assertionID] == 0 {
+		return
+	}
+	r.open[assertionID]--
+	if duration > r.closedMax[assertionID] {
+		r.closedMax[assertionID] = duration
+	}
+}
+
+// Total returns the number of episodes observed so far.
+func (r *RunningSignature) Total() int { return r.total }
+
+// OpenEpisodes returns how many observed episodes are still open.
+func (r *RunningSignature) OpenEpisodes() int {
+	n := 0
+	for _, c := range r.open {
+		n += c
+	}
+	return n
+}
+
+// Signature materialises the current state as a batch-equivalent
+// Signature value. Assertions with an open episode report a MaxDuration
+// of +Inf, mirroring Extract's treatment of a zero recorded duration.
+func (r *RunningSignature) Signature() Signature {
+	sig := Signature{
+		Episodes:    make(map[string]int, len(r.episodes)),
+		MaxDuration: make(map[string]float64, len(r.episodes)),
+		FirstID:     r.firstID,
+		FirstT:      r.firstT,
+		Total:       r.total,
+	}
+	for id, n := range r.episodes {
+		sig.Episodes[id] = n
+		d := r.closedMax[id]
+		if r.open[id] > 0 {
+			d = math.Inf(1)
+		}
+		sig.MaxDuration[id] = d
+	}
+	sig.Order = append(sig.Order, r.order...)
+	sort.SliceStable(sig.Order, func(i, j int) bool {
+		return r.firstSeen[sig.Order[i]] < r.firstSeen[sig.Order[j]]
+	})
+	if sig.Total == 0 {
+		sig.FirstT = 0
+	}
+	return sig
+}
+
+// Diagnose ranks root-cause hypotheses for the current signature — the
+// rolling-diagnosis entry point. Identical to Diagnose over the violation
+// record that produced the observed transitions.
+func (r *RunningSignature) Diagnose() []Hypothesis {
+	return DiagnoseSignature(r.Signature())
+}

@@ -1,0 +1,105 @@
+package diagnosis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adassure/internal/core"
+)
+
+// TestRunningSignatureMatchesExtract is the incremental-diagnosis
+// equivalence property: for randomized episode streams (random assertion
+// IDs, strictly increasing raise times, arbitrary open/close interleaving,
+// some episodes left open), feeding the transitions through a
+// RunningSignature yields exactly the Signature Extract computes from the
+// equivalent batch record — and therefore the same ranked hypotheses.
+func TestRunningSignatureMatchesExtract(t *testing.T) {
+	ids := []string{"A1", "A2", "A3", "A4", "A5", "A9", "A10", "A13", "A14"}
+	rng := rand.New(rand.NewSource(42))
+
+	for trial := 0; trial < 200; trial++ {
+		run := NewRunningSignature()
+		var batch []core.Violation
+		type openEp struct{ idx int }
+		var open []openEp
+
+		tNow := 0.0
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			tNow += 0.05 + rng.Float64()*3
+			switch {
+			case len(open) > 0 && rng.Float64() < 0.4:
+				// Close a random open episode.
+				k := rng.Intn(len(open))
+				ep := open[k]
+				open = append(open[:k], open[k+1:]...)
+				d := tNow - batch[ep.idx].T
+				batch[ep.idx].Duration = d
+				run.CloseEpisode(batch[ep.idx].AssertionID, d)
+			default:
+				// Raise a new episode.
+				v := core.Violation{
+					AssertionID: ids[rng.Intn(len(ids))],
+					T:           tNow,
+					FirstBreach: tNow - 0.1,
+				}
+				batch = append(batch, v)
+				run.Observe(v) // Duration zero: open, exactly as raised
+				open = append(open, openEp{idx: len(batch) - 1})
+			}
+		}
+
+		want := Extract(batch)
+		got := run.Signature()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: incremental signature diverged\n got: %+v\nwant: %+v", trial, got, want)
+		}
+		if hg, hw := run.Diagnose(), Diagnose(batch); !reflect.DeepEqual(hg, hw) {
+			t.Fatalf("trial %d: incremental diagnosis diverged\n got: %+v\nwant: %+v", trial, hg, hw)
+		}
+	}
+}
+
+// TestRunningSignatureOpenEpisodes pins the open-episode bookkeeping:
+// open episodes count as +Inf max duration (Extract's Duration == 0
+// convention), closing them replaces the Inf with the real duration, and
+// unmatched closes are ignored.
+func TestRunningSignatureOpenEpisodes(t *testing.T) {
+	run := NewRunningSignature()
+	run.Observe(core.Violation{AssertionID: "A5", T: 10})
+	if got := run.OpenEpisodes(); got != 1 {
+		t.Fatalf("open episodes = %d, want 1", got)
+	}
+	if sig := run.Signature(); !isInf(sig.MaxDuration["A5"]) {
+		t.Fatalf("open episode max duration = %v, want +Inf", sig.MaxDuration["A5"])
+	}
+	run.CloseEpisode("A5", 7.5)
+	if got := run.OpenEpisodes(); got != 0 {
+		t.Fatalf("open episodes after close = %d, want 0", got)
+	}
+	if sig := run.Signature(); sig.MaxDuration["A5"] != 7.5 {
+		t.Fatalf("closed max duration = %v, want 7.5", sig.MaxDuration["A5"])
+	}
+	run.CloseEpisode("A5", 99) // unmatched: no open episode left
+	if got := run.OpenEpisodes(); got != 0 {
+		t.Fatalf("open episodes after unmatched close = %d, want 0", got)
+	}
+	if run.Total() != 1 {
+		t.Fatalf("total = %d, want 1", run.Total())
+	}
+}
+
+// TestDiagnoseSignatureEmpty pins the no-violation path both entry points
+// share: a single certain CauseNone.
+func TestDiagnoseSignatureEmpty(t *testing.T) {
+	hyps := NewRunningSignature().Diagnose()
+	if len(hyps) != 1 || hyps[0].Cause != CauseNone || hyps[0].Confidence != 1 {
+		t.Fatalf("empty diagnosis = %+v, want single CauseNone@1", hyps)
+	}
+	if want := Diagnose(nil); !reflect.DeepEqual(hyps, want) {
+		t.Fatalf("empty incremental diagnosis %+v != batch %+v", hyps, want)
+	}
+}
+
+func isInf(v float64) bool { return v > 1e308 && v+1 == v }

@@ -22,10 +22,10 @@ type Response struct {
 	// Request echoes the canonicalized request the response answers.
 	Request Request `json:"request"`
 	// Key is the content address of the request (the cache key).
-	Key        string            `json:"key"`
-	Summary    RunSummary        `json:"summary"`
-	Violations []Violation       `json:"violations,omitempty"`
-	Hypotheses []Hypothesis      `json:"hypotheses,omitempty"`
+	Key        string             `json:"key"`
+	Summary    RunSummary         `json:"summary"`
+	Violations []Violation        `json:"violations,omitempty"`
+	Hypotheses []Hypothesis       `json:"hypotheses,omitempty"`
 	Bundles    []forensics.Bundle `json:"bundles,omitempty"`
 }
 

@@ -17,6 +17,7 @@
 // Endpoints:
 //
 //	POST /v1/run      execute (or serve from cache) one scenario
+//	POST /v1/stream   online monitoring: NDJSON frames in, NDJSON events out
 //	POST /v1/mutate   execute (or serve from cache) one mutation campaign
 //	GET  /v1/catalog  enumerate tracks, controllers, attacks, assertions, mutants
 //	GET  /healthz     liveness + queue occupancy
@@ -36,6 +37,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -74,6 +76,8 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof on the
 	// service mux.
 	EnablePprof bool
+	// Stream bounds /v1/stream sessions (zero value = defaults).
+	Stream StreamLimits
 }
 
 func (c *Config) defaults() {
@@ -92,6 +96,7 @@ func (c *Config) defaults() {
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
 	}
+	c.Stream.defaults()
 }
 
 // Server executes scenario requests. Build with New, mount Handler, and
@@ -108,6 +113,13 @@ type Server struct {
 	cancelBase context.CancelFunc
 	closed     atomic.Bool
 
+	// Streaming sessions get their own cancellation so Close can drain
+	// them (each delivers its session-closed event) independently of the
+	// batch pool, and a WaitGroup so Close can wait for the drain.
+	streamCtx     context.Context
+	cancelStreams context.CancelFunc
+	streamWG      sync.WaitGroup
+
 	requests  *obs.Counter
 	reqNS     *obs.Histogram
 	runNS     *obs.Histogram
@@ -116,6 +128,8 @@ type Server struct {
 	timeouts  *obs.Counter
 	simErrors *obs.Counter
 	badReqs   *obs.Counter
+
+	streamSessions *obs.Counter
 }
 
 // New builds and starts a server (its worker pool runs immediately).
@@ -135,8 +149,11 @@ func New(cfg Config) *Server {
 		timeouts:  cfg.Obs.Counter("service.timeouts"),
 		simErrors: cfg.Obs.Counter("service.sim_errors"),
 		badReqs:   cfg.Obs.Counter("service.bad_requests"),
+
+		streamSessions: cfg.Obs.Counter("service.stream.sessions"),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.streamCtx, s.cancelStreams = context.WithCancel(context.Background())
 	s.pool = runner.NewPool(runner.PoolOptions{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
@@ -145,6 +162,7 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -168,15 +186,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the metrics registry backing /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Close stops admission and drains in-flight simulations. If ctx expires
-// first, the base context is cancelled, which aborts running simulations
-// within one control step; Close still waits for the workers to observe
-// the cancellation before returning ctx.Err().
+// Close stops admission, drains streaming sessions (each delivers its
+// final session-closed event before its handler returns) and drains
+// in-flight simulations. If ctx expires first, the base context is
+// cancelled, which aborts running simulations within one control step;
+// Close still waits for the workers to observe the cancellation before
+// returning ctx.Err().
 func (s *Server) Close(ctx context.Context) error {
 	s.closed.Store(true)
+	s.cancelStreams()
 	done := make(chan struct{})
 	go func() {
 		s.pool.Close()
+		s.streamWG.Wait()
 		close(done)
 	}()
 	select {
@@ -348,6 +370,7 @@ func retryAfterSeconds(d time.Duration) int {
 // text.
 var routeMethods = map[string]string{
 	"/v1/run":     "POST",
+	"/v1/stream":  "POST",
 	"/v1/mutate":  "POST",
 	"/v1/catalog": "GET",
 	"/healthz":    "GET",

@@ -293,12 +293,12 @@ func TestBadRequests(t *testing.T) {
 	s, c := newTestServer(t, Config{Workers: 1})
 	ctx := context.Background()
 	cases := []Request{
-		{Attack: "gnss-teleport"},          // unknown attack
-		{Track: "moebius-strip"},           // unknown track
-		{Controller: "yolo"},               // unknown controller
-		{Duration: -3},                     // non-positive duration
-		{Duration: 1e9},                    // over the server cap
-		{Assertions: []string{"A99"}},      // unknown assertion
+		{Attack: "gnss-teleport"},     // unknown attack
+		{Track: "moebius-strip"},      // unknown track
+		{Controller: "yolo"},          // unknown controller
+		{Duration: -3},                // non-positive duration
+		{Duration: 1e9},               // over the server cap
+		{Assertions: []string{"A99"}}, // unknown assertion
 		{Attack: "gnss-step-spoof", AttackStart: 50, AttackEnd: 10}, // inverted window
 	}
 	for _, req := range cases {

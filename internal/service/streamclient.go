@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adassure/internal/obs"
+	"adassure/internal/stream"
+)
+
+// StreamOptions are the per-session knobs Client.Stream passes in the
+// query string.
+type StreamOptions struct {
+	// Assertions restricts the session's catalog (empty = full catalog).
+	Assertions []string
+	// ThresholdScale overrides the catalog threshold scale when > 0.
+	ThresholdScale float64
+	// Heartbeat overrides the server's default heartbeat cadence when
+	// >= 0 (frames between heartbeats; 0 disables). Negative keeps the
+	// server default.
+	Heartbeat int
+	// OnEvent, when non-nil, receives each event as it arrives — before
+	// it is appended to the result. Use it to react to violations while
+	// frames are still being sent.
+	OnEvent func(stream.Event)
+}
+
+// StreamResult is the collected outcome of one streaming session.
+type StreamResult struct {
+	// Status is the HTTP status (200 once any event streamed).
+	Status int
+	// Events is the full event transcript in arrival order.
+	Events []stream.Event
+}
+
+// Closed returns the final session-closed event, if the stream delivered
+// one.
+func (r *StreamResult) Closed() (stream.Event, bool) {
+	for i := len(r.Events) - 1; i >= 0; i-- {
+		if r.Events[i].Kind == stream.EventSessionClosed {
+			return r.Events[i], true
+		}
+	}
+	return stream.Event{}, false
+}
+
+// Stream opens one online monitoring session: frames (NDJSON, one
+// core.Frame object per line) are uploaded as a chunked request body
+// while the event stream is decoded from the response as it arrives —
+// one full-duplex HTTP exchange. It returns once the server closes the
+// event stream. A session the server refused outright (structured 4xx
+// close before any event) returns the decoded error and a result with
+// the HTTP status and no events.
+func (c *Client) Stream(ctx context.Context, frames io.Reader, opts StreamOptions) (*StreamResult, error) {
+	q := url.Values{}
+	if len(opts.Assertions) > 0 {
+		q.Set("assertions", strings.Join(opts.Assertions, ","))
+	}
+	if opts.ThresholdScale > 0 {
+		q.Set("threshold_scale", strconv.FormatFloat(opts.ThresholdScale, 'g', -1, 64))
+	}
+	if opts.Heartbeat >= 0 {
+		q.Set("heartbeat", strconv.Itoa(opts.Heartbeat))
+	}
+	u := c.BaseURL + "/v1/stream"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, frames)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+
+	res := &StreamResult{Status: hres.StatusCode}
+	if hres.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(hres.Body)
+		return res, fmt.Errorf("service: stream: %s: %s", hres.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(hres.Body)
+	sc.Buffer(make([]byte, 64*1024), stream.MaxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e stream.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return res, fmt.Errorf("service: decode event: %w", err)
+		}
+		if opts.OnEvent != nil {
+			opts.OnEvent(e)
+		}
+		res.Events = append(res.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("service: read events: %w", err)
+	}
+	return res, nil
+}
+
+// StreamLoadOptions configures RunStreamLoad.
+type StreamLoadOptions struct {
+	// Sessions is the total session count (default 16).
+	Sessions int
+	// Concurrency is the number of parallel sessions (default 4).
+	Concurrency int
+	// Heartbeat is the per-session heartbeat cadence (default 0 = off —
+	// pure violation traffic).
+	Heartbeat int
+	// Obs, when non-nil, receives the session latency histogram
+	// (load.stream.session_ns) and outcome counters.
+	Obs *obs.Registry
+}
+
+// StreamLoadReport summarises one streaming load run.
+type StreamLoadReport struct {
+	Sessions   int64
+	Errors     int64
+	Frames     int64
+	Events     int64
+	Violations int64
+	Elapsed    time.Duration
+	// FrameRate is accepted frames per second across all sessions.
+	FrameRate float64
+	// Latency is the whole-session wall-time distribution.
+	Latency obs.HistogramSummary
+}
+
+// RunStreamLoad drives the streaming endpoint with opts.Concurrency
+// parallel sessions, each uploading the same NDJSON frame document, and
+// reports aggregate frame throughput — the measurement loop behind
+// adassure-load's streaming mode.
+func RunStreamLoad(ctx context.Context, c *Client, frames []byte, opts StreamLoadOptions) (*StreamLoadReport, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 16
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 4
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		sessNS    = reg.Histogram("load.stream.session_ns")
+		errCtr    = reg.Counter("load.stream.errors")
+		frameCtr  = reg.Counter("load.stream.frames")
+		eventCtr  = reg.Counter("load.stream.events")
+		violCtr   = reg.Counter("load.stream.violations")
+		next      atomic.Int64
+		completed atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Sessions) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				res, err := c.Stream(ctx, bytes.NewReader(frames), StreamOptions{
+					Heartbeat: opts.Heartbeat,
+				})
+				sessNS.Observe(time.Since(t0).Nanoseconds())
+				completed.Add(1)
+				if err != nil {
+					errCtr.Inc()
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				eventCtr.Add(int64(len(res.Events)))
+				if closed, ok := res.Closed(); ok {
+					frameCtr.Add(closed.Frames)
+					if closed.Stats != nil {
+						violCtr.Add(closed.Stats.Violations)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &StreamLoadReport{
+		Sessions:   completed.Load(),
+		Errors:     errCtr.Value(),
+		Frames:     frameCtr.Value(),
+		Events:     eventCtr.Value(),
+		Violations: violCtr.Value(),
+		Elapsed:    elapsed,
+		Latency:    sessNS.Summary(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.FrameRate = float64(rep.Frames) / secs
+	}
+	if rep.Sessions > 0 && rep.Errors == rep.Sessions {
+		return rep, fmt.Errorf("service: streaming load failed entirely: %w", firstErr)
+	}
+	return rep, nil
+}
+
+// Print renders the report as the human-readable table adassure-load
+// emits in streaming mode.
+func (r *StreamLoadReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "sessions    %d (ok %d, errors %d)\n", r.Sessions, r.Sessions-r.Errors, r.Errors)
+	fmt.Fprintf(w, "frames      %d (%d events, %d violations)\n", r.Frames, r.Events, r.Violations)
+	fmt.Fprintf(w, "elapsed     %.2f s\n", r.Elapsed.Seconds())
+	fmt.Fprintf(w, "frame rate  %.0f frames/s\n", r.FrameRate)
+	fmt.Fprintf(w, "session     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (mean %.2f ms, n=%d)\n",
+		r.Latency.P50/1e6, r.Latency.P95/1e6, r.Latency.P99/1e6, r.Latency.Mean/1e6, r.Latency.Count)
+}

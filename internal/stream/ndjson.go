@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"adassure/internal/core"
+)
+
+// Frame lines use the same JSON encoding as a recorded core.Frame, so a
+// stored Recording converts to a valid NDJSON stream with nothing more
+// than `jq -c '.Frames[]' recording.json`.
+
+// MaxLineBytes bounds one NDJSON input line. A frame line is ~1 KiB at
+// full float precision; anything near the limit is garbage, and the
+// scanner cannot resynchronise after an over-long line, so exceeding it
+// is a terminal error.
+const MaxLineBytes = 1 << 20
+
+// Reject reasons carried by FrameError and frame-rejected events.
+const (
+	RejectSyntax     = "syntax"       // not valid JSON
+	RejectNotObject  = "not-object"   // valid JSON but not an object
+	RejectSchema     = "schema"       // unknown field or wrong value type
+	RejectNonFinite  = "non-finite"   // NaN/Inf (or out-of-range number)
+	RejectOutOfOrder = "out-of-order" // frame time regressed
+)
+
+// FrameError is one rejected frame: a malformed line or an out-of-order
+// timestamp. FrameErrors are charged against the session's error budget
+// but are not terminal by themselves — see Terminal.
+type FrameError struct {
+	Reason string // one of the Reject* constants
+	Detail string
+}
+
+// Error implements error.
+func (e *FrameError) Error() string {
+	if e.Detail == "" {
+		return "stream: frame rejected (" + e.Reason + ")"
+	}
+	return "stream: frame rejected (" + e.Reason + "): " + e.Detail
+}
+
+// BudgetError is the terminal error returned when a reject exceeds the
+// session's malformed-line budget.
+type BudgetError struct {
+	// Rejected is the total number of rejected frames, including the one
+	// that broke the budget.
+	Rejected int64
+	// Last is the rejection that broke the budget.
+	Last *FrameError
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("stream: error budget exhausted after %d rejected frames: %v", e.Rejected, e.Last)
+}
+
+// Unwrap exposes the final rejection.
+func (e *BudgetError) Unwrap() error { return e.Last }
+
+// ErrClosed is returned by ingestion on a closed session.
+var ErrClosed = errors.New("stream: session closed")
+
+// Terminal reports whether an ingestion error ends the session (budget
+// exhausted, session closed, or unrecoverable input) as opposed to a
+// single rejected frame the session already absorbed.
+func Terminal(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *BudgetError
+	return errors.Is(err, ErrClosed) || errors.As(err, &be)
+}
+
+// ParseFrame decodes one NDJSON line into a Frame under the strict wire
+// contract: the line must be a single JSON object with no unknown fields,
+// no trailing data, and finite core signals. Every failure is a typed
+// *FrameError — malformed input is diagnosed, never silently dropped.
+func ParseFrame(line []byte) (core.Frame, error) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return core.Frame{}, &FrameError{Reason: RejectSyntax, Detail: "empty line"}
+	}
+	if trimmed[0] != '{' {
+		// Catches bare scalars and, importantly, `null` — which
+		// encoding/json would otherwise decode into a zero frame without
+		// complaint.
+		return core.Frame{}, &FrameError{Reason: RejectNotObject, Detail: "line is not a JSON object"}
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var f core.Frame
+	if err := dec.Decode(&f); err != nil {
+		return core.Frame{}, classifyDecodeError(err)
+	}
+	if dec.More() {
+		return core.Frame{}, &FrameError{Reason: RejectSyntax, Detail: "trailing data after frame object"}
+	}
+	if !f.Finite() {
+		return core.Frame{}, &FrameError{Reason: RejectNonFinite, Detail: "non-finite core signal"}
+	}
+	return f, nil
+}
+
+// classifyDecodeError maps encoding/json failures onto reject reasons.
+func classifyDecodeError(err error) *FrameError {
+	var synErr *json.SyntaxError
+	if errors.As(err, &synErr) {
+		return &FrameError{Reason: RejectSyntax, Detail: err.Error()}
+	}
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		// A JSON number that cannot become a float64 is an overflow —
+		// JSON has no literal for ±Inf/NaN, so "number too large" is the
+		// wire form of a non-finite value.
+		if strings.HasPrefix(typeErr.Value, "number") && typeErr.Type != nil && typeErr.Type.Kind() == reflect.Float64 {
+			return &FrameError{Reason: RejectNonFinite, Detail: err.Error()}
+		}
+		return &FrameError{Reason: RejectSchema, Detail: err.Error()}
+	}
+	if strings.Contains(err.Error(), "unknown field") {
+		return &FrameError{Reason: RejectSchema, Detail: err.Error()}
+	}
+	return &FrameError{Reason: RejectSyntax, Detail: err.Error()}
+}
