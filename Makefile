@@ -44,6 +44,7 @@ golden:
 	$(GO) test ./internal/events -run TestGoldenTimelineT4
 	$(GO) test ./internal/diagnosis -run TestGoldenReport
 	$(GO) test ./internal/service -run TestStreamGoldenTranscript
+	$(GO) test ./internal/obs -run TestPromGolden
 
 # Rewrite the golden files after an intentional behaviour change; review
 # the diff before committing.
@@ -52,6 +53,7 @@ golden-update:
 	$(GO) test ./internal/events -run TestGoldenTimelineT4 -update
 	$(GO) test ./internal/diagnosis -run TestGoldenReport -update
 	$(GO) test ./internal/service -run TestStreamGoldenTranscript -update-stream
+	$(GO) test ./internal/obs -run TestPromGolden -update
 
 # Streaming-vs-batch equivalence gate: the differential suite feeding the
 # six scenario tracks through the online session at several chunk sizes,

@@ -48,6 +48,7 @@ import (
 	"adassure/internal/runner"
 	"adassure/internal/sim"
 	"adassure/internal/stream"
+	"adassure/internal/telemetry"
 	"adassure/internal/trace"
 	"adassure/internal/track"
 	"adassure/internal/vehicle"
@@ -159,6 +160,11 @@ type (
 	ForensicBundle = forensics.Bundle
 	// AttackInfo snapshots campaign state inside a forensic bundle.
 	AttackInfo = forensics.AttackInfo
+	// TraceSpan is one span of a distributed request trace (see
+	// internal/telemetry). The serving layer threads its per-request span
+	// into Scenario.Span so the run's sim+monitor and diagnosis phases
+	// appear as children in the request's trace; a nil span costs nothing.
+	TraceSpan = telemetry.Span
 )
 
 // NewEventRecorder builds an event recorder. capacity > 0 bounds it to
@@ -343,6 +349,12 @@ type Scenario struct {
 	// error. Empty (the default) loads the full catalog. Used by the
 	// serving layer's per-request catalog selection.
 	Assertions []string
+	// Span, when non-nil, is the parent span the run's phases report
+	// under: RunContext opens one child span covering the simulation +
+	// monitoring loop and one covering diagnosis. Phase spans are
+	// constant-count per run (never per step), and a nil span (the
+	// default) is a single-branch no-op.
+	Span *TraceSpan
 }
 
 // Outcome of a Scenario run.
@@ -512,15 +524,28 @@ func (s Scenario) RunContext(ctx context.Context) (*ScenarioResult, error) {
 	if s.Guarded {
 		cfg.Guard = sim.GuardConfig{Enabled: true, AssertionTrigger: true}
 	}
+	simSpan := s.Span.StartChild("phase.sim+monitor")
 	res, err := sim.Run(cfg)
 	if err != nil {
+		simSpan.End()
 		return nil, err
 	}
 	vs := mon.Violations()
+	if simSpan.Enabled() {
+		simSpan.SetInt("steps", int64(res.Steps))
+		simSpan.SetInt("violations", int64(len(vs)))
+	}
+	simSpan.End()
+	diagSpan := s.Span.StartChild("phase.diagnosis")
+	hyps := diagnosis.Diagnose(vs)
+	if diagSpan.Enabled() {
+		diagSpan.SetInt("hypotheses", int64(len(hyps)))
+	}
+	diagSpan.End()
 	out := &ScenarioResult{
 		Sim:        res,
 		Violations: vs,
-		Hypotheses: diagnosis.Diagnose(vs),
+		Hypotheses: hyps,
 		scenario:   s,
 	}
 	if s.Events != nil && len(vs) > 0 {

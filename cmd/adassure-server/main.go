@@ -18,6 +18,7 @@
 //	    [-cache-bytes 67108864] [-timeout 60s] [-max-duration 600]
 //	    [-retry-after 1s] [-pprof] [-metrics out.json]
 //	    [-stream-hz 2000] [-stream-session 5m] [-stream-error-budget 0]
+//	    [-log-format text|json] [-trace-store 256] [-readiness-grace 0s]
 //
 // POST /v1/stream serves online monitoring: chunked NDJSON frames in,
 // NDJSON events out over one full-duplex exchange, with per-session
@@ -25,18 +26,30 @@
 // (-stream-session) and malformed-line tolerance (-stream-error-budget;
 // 0 = default of 10, negative = none).
 //
-// Endpoints: POST /v1/run, POST /v1/stream, GET /v1/catalog,
-// GET /healthz, GET /metrics, and GET /debug/pprof (with -pprof).
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
-// accepting, in-flight simulations drain and open streaming sessions
-// are closed with a drain event (up to -drain-timeout), and with
-// -metrics a final registry snapshot is written on exit.
+// Observability: every /v1/* request is traced end to end (W3C
+// traceparent in, X-Adassure-Trace out, spans retrievable from
+// /debug/traces/{id}; -trace-store bounds the in-memory store, 0
+// disables tracing). /metrics serves the Prometheus text exposition with
+// trace-ID exemplars; /metrics.json keeps the JSON snapshot. One
+// structured log record per request — -log-format picks text or JSON —
+// carries the same trace_id for correlation.
+//
+// Endpoints: POST /v1/run, POST /v1/stream, POST /v1/mutate,
+// GET /v1/catalog, GET /healthz, GET /readyz, GET /metrics,
+// GET /metrics.json, GET /debug/buildinfo, GET /debug/traces[/{id}], and
+// GET /debug/pprof (with -pprof). SIGINT/SIGTERM trigger a graceful
+// shutdown: /readyz flips to 503 immediately, -readiness-grace gives
+// load balancers time to observe it, then the listener stops accepting,
+// in-flight simulations drain and open streaming sessions are closed
+// with a drain event (up to -drain-timeout), and with -metrics a final
+// registry snapshot is written on exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +59,7 @@ import (
 
 	"adassure/internal/obs"
 	"adassure/internal/service"
+	"adassure/internal/telemetry"
 )
 
 func main() {
@@ -74,9 +88,26 @@ func run(argv []string, stdout, stderr *os.File) error {
 		streamSess   = fs.Duration("stream-session", 0, "per-stream-session wall-clock cap (default 5m, negative disables)")
 		streamBudget = fs.Int("stream-error-budget", 0, "malformed NDJSON lines tolerated per stream session (default 10, negative = none)")
 		streamBeat   = fs.Int("stream-heartbeat", 0, "default stream heartbeat cadence in frames (default 200, negative = off)")
+		logFormat    = fs.String("log-format", "text", "structured log format: text or json (stderr)")
+		traceStore   = fs.Int("trace-store", 256, "completed traces retained for /debug/traces (0 disables tracing)")
+		readyGrace   = fs.Duration("readiness-grace", 0, "after /readyz flips to 503 on shutdown, wait this long before closing the listener")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	default:
+		return fmt.Errorf("-log-format must be text or json, got %q", *logFormat)
+	}
+	var tracer *telemetry.Tracer
+	if *traceStore > 0 {
+		tracer = telemetry.New(telemetry.Config{MaxTraces: *traceStore})
 	}
 
 	reg := obs.NewRegistry()
@@ -88,6 +119,8 @@ func run(argv []string, stdout, stderr *os.File) error {
 		MaxDuration: *maxDuration,
 		RetryAfter:  *retryAfter,
 		Obs:         reg,
+		Tracer:      tracer,
+		Logger:      logger,
 		EnablePprof: *pprofOn,
 		Stream: service.StreamLimits{
 			MaxFrameHz:         *streamHz,
@@ -115,8 +148,14 @@ func run(argv []string, stdout, stderr *os.File) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 
-	// Shutdown order: stop accepting first, then drain the simulation
-	// pool so every admitted request still gets its response.
+	// Shutdown order: flip readiness first so load balancers stop routing
+	// new traffic (with -readiness-grace to let them observe the 503),
+	// then stop accepting, then drain the simulation pool so every
+	// admitted request still gets its response.
+	svc.BeginDrain()
+	if *readyGrace > 0 {
+		time.Sleep(*readyGrace)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {

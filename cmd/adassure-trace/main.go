@@ -1,6 +1,6 @@
 // Command adassure-trace inspects the debugging artifacts ADAssure runs
-// produce: signal traces, structured event timelines and forensic
-// bundles.
+// produce: signal traces, structured event timelines, forensic bundles
+// and distributed-trace span exports.
 //
 // Usage:
 //
@@ -8,23 +8,33 @@
 //	adassure-trace csv run.json > run.csv  # trace as CSV
 //	adassure-trace events run-events.json  # plain-text event timeline
 //	adassure-trace bundle bundle_000_*.json  # pretty-print one bundle
+//	adassure-trace spans trace.json        # span tree from /debug/traces/<id>
 //	adassure-trace perfetto run-events.json > trace.json  # Chrome trace JSON
 //
+// perfetto accepts either input shape — a flight-recorder events file or
+// a span export fetched from the server's /debug/traces/<id> endpoint —
+// and sniffs which converter applies from the document's schema field.
+//
 // Every subcommand accepts "-" as the file argument to read from stdin,
-// e.g. piping an events file straight out of adassure-sim:
+// e.g. piping an events file straight out of adassure-sim, or a span
+// export straight off a server:
 //
 //	adassure-sim -attack gnss-drift-spoof -events /dev/stdout | adassure-trace events -
+//	curl -s localhost:8080/debug/traces/$ID | adassure-trace spans -
 //
 // Exit status: 0 on success, 1 on file-read or parse errors, 2 on bad
 // invocation (unknown subcommand or wrong argument count).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
 	"adassure"
+	"adassure/internal/telemetry"
 	"adassure/internal/trace"
 )
 
@@ -36,7 +46,7 @@ func main() {
 // given streams and returns the process exit code.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: adassure-trace (stats|csv|events|bundle|perfetto) <file.json | ->")
+		fmt.Fprintln(stderr, "usage: adassure-trace (stats|csv|events|bundle|spans|perfetto) <file.json | ->")
 		return 2
 	}
 	if len(args) != 2 {
@@ -54,6 +64,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		cmd = runEvents
 	case "bundle":
 		cmd = runBundle
+	case "spans":
+		cmd = runSpans
 	case "perfetto":
 		cmd = runPerfetto
 	default:
@@ -123,10 +135,35 @@ func runBundle(in io.Reader, out io.Writer) error {
 	return b.Render(out)
 }
 
-// runPerfetto converts an events file to Chrome trace-event JSON for
-// ui.perfetto.dev / chrome://tracing.
+// runSpans renders a span export (the body of /debug/traces/<id>) as an
+// indented per-span tree with durations and attributes.
+func runSpans(in io.Reader, out io.Writer) error {
+	tr, err := telemetry.ReadTrace(in)
+	if err != nil {
+		return err
+	}
+	return tr.Render(out)
+}
+
+// runPerfetto converts either artifact to Chrome trace-event JSON for
+// ui.perfetto.dev / chrome://tracing: flight-recorder events files and
+// span exports, told apart by the document's schema field.
 func runPerfetto(in io.Reader, out io.Writer) error {
-	log, err := adassure.ReadEventLog(in)
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if json.Unmarshal(data, &probe) == nil && probe.Schema == telemetry.Schema {
+		tr, err := telemetry.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		return telemetry.WritePerfetto(out, tr)
+	}
+	log, err := adassure.ReadEventLog(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"adassure"
+	"adassure/internal/telemetry"
 	"adassure/internal/trace"
 )
 
@@ -79,6 +80,53 @@ func TestRunReadsStdin(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drift") {
 		t.Errorf("timeline missing span name:\n%s", out.String())
+	}
+}
+
+// spanExportJSON builds a small two-span trace export — the shape
+// /debug/traces/<id> serves.
+func spanExportJSON(t *testing.T) []byte {
+	t.Helper()
+	tr := telemetry.New(telemetry.Config{})
+	root := tr.StartSpan("http /v1/run", "")
+	child := root.StartChild("execute")
+	child.SetAttr("disposition", "miss")
+	child.End()
+	root.End()
+	exp, ok := tr.Export(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunSpansRendersExport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"spans", "-"}, bytes.NewReader(spanExportJSON(t)), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"http /v1/run", "execute", "disposition=miss"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("spans output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunPerfettoSniffsSpanExport: the perfetto subcommand accepts both
+// input shapes, dispatching on the schema field.
+func TestRunPerfettoSniffsSpanExport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"perfetto", "-"}, bytes.NewReader(spanExportJSON(t)), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"http /v1/run"`, `"execute"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("perfetto span output missing %s:\n%s", want, out.String())
+		}
 	}
 }
 

@@ -96,6 +96,7 @@ const (
 	CatGuard     Category = "guard"     // dead-reckoning fallback intervals (internal/sim)
 	CatDiagnosis Category = "diagnosis" // ranked hypotheses (internal/diagnosis)
 	CatRunner    Category = "runner"    // worker-pool job spans (internal/runner)
+	CatTrace     Category = "trace"     // request-tracing spans (internal/telemetry)
 )
 
 // NoSimTime is the T value of events that exist only on the wall clock

@@ -68,6 +68,10 @@ func (w Window) Contains(t float64) bool { return t >= w.T0 && t <= w.T1 }
 // episode.
 type Bundle struct {
 	Schema string `json:"schema"`
+	// TraceID names the distributed trace of the run that produced the
+	// bundle, linking the artifact back to its request's span tree in
+	// /debug/traces (empty when the run was untraced).
+	TraceID string `json:"trace_id,omitempty"`
 	// Scenario carries the run metadata (track, controller, attack, seed…).
 	Scenario map[string]string `json:"scenario,omitempty"`
 	// Index is the episode's position in the run's violation record.
@@ -97,6 +101,8 @@ type Bundle struct {
 // pieces (no trace, no frames, no registry, clean run) simply leave the
 // corresponding bundle sections empty.
 type Input struct {
+	// TraceID is the executing run's trace ID, copied into every bundle.
+	TraceID string
 	// Scenario metadata copied into every bundle.
 	Scenario map[string]string
 	// Violations is the run's episode record; one bundle per entry.
@@ -155,6 +161,7 @@ func Build(in Input) []Bundle {
 		v.Evidence = sanitizeEvidence(v.Evidence)
 		b := Bundle{
 			Schema:     Schema,
+			TraceID:    in.TraceID,
 			Scenario:   in.Scenario,
 			Index:      i,
 			Violation:  v,

@@ -99,6 +99,18 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
 	count  atomic.Int64
 	sum    atomic.Int64
+	// ex holds at most one exemplar per bucket (newest wins), attached by
+	// ObserveEx and exported on the Prometheus _bucket lines. The plain
+	// Observe path never touches it.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it — the
+// bridge from a latency histogram's tail bucket back to a retrievable
+// trace in /debug/traces/<id>.
+type Exemplar struct {
+	TraceID string
+	Value   int64
 }
 
 // DefaultLatencyBuckets covers 64 ns to ~68 s in factor-2 steps — wide
@@ -126,7 +138,11 @@ func NewHistogram(bounds []int64) *Histogram {
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{bounds: own, counts: make([]atomic.Int64, len(own)+1)}
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Int64, len(own)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(own)+1),
+	}
 }
 
 // Observe records one value. Negative values clamp to zero (latencies are
@@ -139,7 +155,34 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	// Binary search: first bucket whose bound is ≥ v.
+	h.counts[h.bucketIdx(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveEx records one value and attaches a trace-ID exemplar to the
+// bucket the value lands in (newest exemplar wins). Unlike Observe this
+// allocates (one Exemplar per call), so it belongs on request-scoped
+// paths, not the per-step hot loop. An empty traceID degrades to Observe.
+func (h *Histogram) ObserveEx(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := h.bucketIdx(v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// bucketIdx returns the index of the bucket holding v (binary search:
+// first bucket whose bound is ≥ v; len(bounds) is the overflow bucket).
+func (h *Histogram) bucketIdx(v int64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -149,9 +192,7 @@ func (h *Histogram) Observe(v int64) {
 			lo = mid + 1
 		}
 	}
-	h.counts[lo].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	return lo
 }
 
 // Count returns the number of observations.

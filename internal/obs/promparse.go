@@ -1,0 +1,473 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseProm is the strict reader for the exposition format WriteProm
+// emits — the CI smoke test and the promcheck tool use it to prove a
+// live /metrics scrape is well-formed rather than merely greppable. It
+// enforces, beyond bare syntax:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line, with the suffix its kind demands (_total for counters;
+//     _bucket/_sum/_count for histograms; the bare name for gauges);
+//   - no duplicate # TYPE lines and no duplicate series;
+//   - histogram bucket series are cumulative: le values strictly
+//     ascending per series, counts non-decreasing, the +Inf bucket
+//     present and equal to the series' _count sample, _sum present;
+//   - label bodies use valid names, quoting and escapes;
+//   - the stream ends with # EOF and nothing follows it.
+
+// PromExemplar is a parsed exemplar annotation.
+type PromExemplar struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name     string // full sample name, e.g. "sim_runs_total"
+	Labels   map[string]string
+	Value    float64
+	Exemplar *PromExemplar
+}
+
+// PromFamily is one declared metric family and its samples.
+type PromFamily struct {
+	Name    string // family name from the # TYPE line
+	Type    string // counter | gauge | histogram
+	Samples []PromSample
+}
+
+// PromDoc is a parsed exposition document.
+type PromDoc struct {
+	Families []*PromFamily
+	byName   map[string]*PromFamily
+}
+
+// Family returns the named family, or nil.
+func (d *PromDoc) Family(name string) *PromFamily {
+	if d == nil {
+		return nil
+	}
+	return d.byName[name]
+}
+
+// Sum adds up every sample with the given full sample name across label
+// sets, returning the total and how many series matched.
+func (d *PromDoc) Sum(sampleName string) (float64, int) {
+	var total float64
+	var n int
+	if d == nil {
+		return 0, 0
+	}
+	for _, f := range d.Families {
+		for _, s := range f.Samples {
+			if s.Name == sampleName {
+				total += s.Value
+				n++
+			}
+		}
+	}
+	return total, n
+}
+
+// HasExemplar reports whether any sample of the named family carries an
+// exemplar with a trace_id label.
+func (d *PromDoc) HasExemplar(family string) bool {
+	f := d.Family(family)
+	if f == nil {
+		return false
+	}
+	for _, s := range f.Samples {
+		if s.Exemplar != nil && s.Exemplar.Labels["trace_id"] != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// histSeries accumulates one histogram series' bucket structure for the
+// cumulativity check, keyed by its non-le label signature.
+type histSeries struct {
+	les     []float64
+	counts  []float64
+	hasInf  bool
+	infVal  float64
+	count   *float64
+	hasSum  bool
+	sumSeen bool
+}
+
+// ParseProm reads and validates an exposition stream.
+func ParseProm(r io.Reader) (*PromDoc, error) {
+	doc := &PromDoc{byName: map[string]*PromFamily{}}
+	seenSeries := map[string]bool{}
+	hists := map[string]map[string]*histSeries{} // family -> label sig -> series
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawEOF := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("obs: prom line %d: content after # EOF", line)
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			switch {
+			case text == "# EOF":
+				sawEOF = true
+			case strings.HasPrefix(text, "# TYPE "):
+				rest := strings.TrimPrefix(text, "# TYPE ")
+				parts := strings.Fields(rest)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("obs: prom line %d: malformed TYPE line %q", line, text)
+				}
+				name, typ := parts[0], parts[1]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("obs: prom line %d: invalid family name %q", line, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("obs: prom line %d: unknown type %q", line, typ)
+				}
+				if doc.byName[name] != nil {
+					return nil, fmt.Errorf("obs: prom line %d: duplicate TYPE for %q", line, name)
+				}
+				f := &PromFamily{Name: name, Type: typ}
+				doc.byName[name] = f
+				doc.Families = append(doc.Families, f)
+			case strings.HasPrefix(text, "# HELP "):
+				// HELP lines are legal; we emit none but accept them.
+			default:
+				return nil, fmt.Errorf("obs: prom line %d: unrecognised comment %q", line, text)
+			}
+			continue
+		}
+		sample, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: %w", line, err)
+		}
+		fam, suffix, err := resolveFamily(doc, sample.Name)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: %w", line, err)
+		}
+		sig := sample.Name + "|" + labelSignature(sample.Labels, "")
+		if seenSeries[sig] {
+			return nil, fmt.Errorf("obs: prom line %d: duplicate series %q", line, sig)
+		}
+		seenSeries[sig] = true
+		if sample.Exemplar != nil && suffix != "_bucket" {
+			return nil, fmt.Errorf("obs: prom line %d: exemplar on non-bucket sample %q", line, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+
+		if fam.Type == "histogram" {
+			bySig := hists[fam.Name]
+			if bySig == nil {
+				bySig = map[string]*histSeries{}
+				hists[fam.Name] = bySig
+			}
+			key := labelSignature(sample.Labels, "le")
+			hs := bySig[key]
+			if hs == nil {
+				hs = &histSeries{}
+				bySig[key] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				leStr, ok := sample.Labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("obs: prom line %d: bucket sample without le label", line)
+				}
+				if leStr == "+Inf" {
+					hs.hasInf = true
+					hs.infVal = sample.Value
+				} else {
+					le, err := strconv.ParseFloat(leStr, 64)
+					if err != nil {
+						return nil, fmt.Errorf("obs: prom line %d: bad le %q: %w", line, leStr, err)
+					}
+					if hs.hasInf {
+						return nil, fmt.Errorf("obs: prom line %d: bucket after +Inf", line)
+					}
+					hs.les = append(hs.les, le)
+					hs.counts = append(hs.counts, sample.Value)
+				}
+			case "_sum":
+				hs.hasSum = true
+			case "_count":
+				v := sample.Value
+				hs.count = &v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: prom read: %w", err)
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("obs: prom stream missing # EOF terminator")
+	}
+	for famName, bySig := range hists {
+		for sig, hs := range bySig {
+			where := famName
+			if sig != "" {
+				where += "{" + sig + "}"
+			}
+			for i := 1; i < len(hs.les); i++ {
+				if hs.les[i] <= hs.les[i-1] {
+					return nil, fmt.Errorf("obs: prom histogram %s: le not strictly ascending", where)
+				}
+			}
+			for i := 1; i < len(hs.counts); i++ {
+				if hs.counts[i] < hs.counts[i-1] {
+					return nil, fmt.Errorf("obs: prom histogram %s: bucket counts not cumulative", where)
+				}
+			}
+			if !hs.hasInf {
+				return nil, fmt.Errorf("obs: prom histogram %s: missing +Inf bucket", where)
+			}
+			if len(hs.counts) > 0 && hs.infVal < hs.counts[len(hs.counts)-1] {
+				return nil, fmt.Errorf("obs: prom histogram %s: +Inf bucket below last finite bucket", where)
+			}
+			if hs.count == nil {
+				return nil, fmt.Errorf("obs: prom histogram %s: missing _count sample", where)
+			}
+			if *hs.count != hs.infVal {
+				return nil, fmt.Errorf("obs: prom histogram %s: _count %v != +Inf bucket %v", where, *hs.count, hs.infVal)
+			}
+			if !hs.hasSum {
+				return nil, fmt.Errorf("obs: prom histogram %s: missing _sum sample", where)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// resolveFamily maps a sample name to its declared family and the suffix
+// role it plays within that family's type.
+func resolveFamily(doc *PromDoc, sampleName string) (*PromFamily, string, error) {
+	if f := doc.byName[sampleName]; f != nil {
+		if f.Type != "gauge" {
+			return nil, "", fmt.Errorf("sample %q uses the bare family name of a %s", sampleName, f.Type)
+		}
+		return f, "", nil
+	}
+	for _, suffix := range [...]string{"_total", "_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sampleName, suffix)
+		if !ok {
+			continue
+		}
+		f := doc.byName[base]
+		if f == nil {
+			continue
+		}
+		switch {
+		case suffix == "_total" && f.Type == "counter":
+			return f, suffix, nil
+		case suffix != "_total" && f.Type == "histogram":
+			return f, suffix, nil
+		default:
+			return nil, "", fmt.Errorf("sample %q: suffix %s not valid for %s family %q", sampleName, suffix, f.Type, base)
+		}
+	}
+	return nil, "", fmt.Errorf("sample %q has no preceding # TYPE declaration", sampleName)
+}
+
+// parseSampleLine parses `name{labels} value [# {exlabels} exvalue]`.
+func parseSampleLine(text string) (PromSample, error) {
+	var s PromSample
+	rest := text
+	i := 0
+	for i < len(rest) && isPromNameChar(rest[i], i > 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("sample line %q: missing metric name", text)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabelBody(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valStr := rest
+	var exPart string
+	if j := strings.Index(rest, " # "); j >= 0 {
+		valStr = strings.TrimRight(rest[:j], " ")
+		exPart = rest[j+3:]
+	}
+	v, err := parsePromValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q: %w", s.Name, valStr, err)
+	}
+	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Exemplar = ex
+	}
+	return s, nil
+}
+
+// parseExemplar parses `{labels} value [timestamp]`.
+func parseExemplar(text string) (*PromExemplar, error) {
+	if !strings.HasPrefix(text, "{") {
+		return nil, fmt.Errorf("exemplar %q: must start with a label set", text)
+	}
+	end, labels, err := parseLabelBody(text)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(text[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar %q: want value [timestamp]", text)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar value %q: %w", fields[0], err)
+	}
+	return &PromExemplar{Labels: labels, Value: v}, nil
+}
+
+// parseLabelBody parses a `{k="v",...}` body starting at text[0] == '{'.
+// It returns the index just past the closing brace.
+func parseLabelBody(text string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(text) {
+			return 0, nil, fmt.Errorf("label body %q: unterminated", text)
+		}
+		if text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(text) && isPromNameChar(text[i], i > start) {
+			i++
+		}
+		if i == start {
+			return 0, nil, fmt.Errorf("label body %q: missing label name at offset %d", text, i)
+		}
+		name := text[start:i]
+		if i >= len(text) || text[i] != '=' {
+			return 0, nil, fmt.Errorf("label body %q: missing '=' after %q", text, name)
+		}
+		i++
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("label body %q: missing opening quote for %q", text, name)
+		}
+		i++
+		var sb strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("label body %q: unterminated value for %q", text, name)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("label body %q: dangling escape", text)
+				}
+				switch text[i+1] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label body %q: invalid escape \\%c", text, text[i+1])
+				}
+				i += 2
+				continue
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("label body %q: duplicate label %q", text, name)
+		}
+		labels[name] = sb.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parsePromValue parses a sample value, accepting the exposition
+// spellings of infinities and NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelSignature renders a sorted, canonical form of a label set,
+// excluding one label name (pass "" to keep all).
+func labelSignature(labels map[string]string, except string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == except {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isPromNameChar(s[i], i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isPromNameChar(c byte, notFirst bool) bool { return promNameByte(c, notFirst) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -46,6 +47,8 @@ type Pool struct {
 	queueGau  *obs.Gauge
 	waitNS    *obs.Histogram
 	jobNS     *obs.Histogram
+
+	log *slog.Logger
 }
 
 type poolJob struct {
@@ -76,6 +79,10 @@ type PoolOptions struct {
 	// gauge (sampled at every admission and completion), and the
 	// runner.pool.queue_wait_ns and runner.pool.job_ns histograms.
 	Obs *obs.Registry
+	// Logger, when non-nil, receives pool lifecycle records: one per
+	// recovered job panic (error level) and one when Close has drained the
+	// queue (info level). Nil discards.
+	Logger *slog.Logger
 }
 
 // NewPool starts the workers and returns the pool.
@@ -95,6 +102,10 @@ func NewPool(opts PoolOptions) *Pool {
 		queueGau:  opts.Obs.Gauge("runner.pool.queue_depth"),
 		waitNS:    opts.Obs.Histogram("runner.pool.queue_wait_ns"),
 		jobNS:     opts.Obs.Histogram("runner.pool.job_ns"),
+		log:       opts.Logger,
+	}
+	if p.log == nil {
+		p.log = slog.New(slog.DiscardHandler)
 	}
 	timed := opts.Obs != nil
 	p.wg.Add(opts.Workers)
@@ -124,6 +135,7 @@ func (p *Pool) runOne(job poolJob) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Inc()
+			p.log.Error("pool job panicked", slog.Any("recovered", r))
 			if job.onPanic != nil {
 				job.onPanic(fmt.Errorf("runner: pool job panicked: %v\n%s", r, trimStack(debug.Stack())))
 			}
@@ -170,10 +182,16 @@ func (p *Pool) Cap() int { return cap(p.queue) }
 // cancels work.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	if !p.closed {
+	first := !p.closed
+	if first {
 		p.closed = true
 		close(p.queue)
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+	if first {
+		p.log.Info("pool drained",
+			slog.Int64("completed", p.completed.Value()),
+			slog.Int64("panics", p.panics.Value()))
+	}
 }

@@ -3,8 +3,10 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"adassure/internal/obs"
+	"adassure/internal/telemetry"
 )
 
 // resultCache is the deterministic-result cache: a content-addressed
@@ -143,7 +145,29 @@ type flightCall struct {
 	body   []byte
 	status int
 	err    error
+	// owner identifies the leader's trace and root span, published before
+	// submission so followers can link their coalesced-wait spans to the
+	// trace doing the work. Nil when the leader's request is untraced.
+	owner atomic.Pointer[flightOwner]
 }
+
+// flightOwner names the executing request's trace for follower links.
+type flightOwner struct {
+	trace telemetry.TraceID
+	span  telemetry.SpanID
+}
+
+// setOwner stamps the call with the leader's span identity (no-op for a
+// nil/untraced span).
+func (c *flightCall) setOwner(sp *telemetry.Span) {
+	if sp.Enabled() {
+		c.owner.Store(&flightOwner{trace: sp.TraceID(), span: sp.SpanID()})
+	}
+}
+
+// ownerRef returns the leader's identity, or nil when untraced (or read
+// before the leader stamped it).
+func (c *flightCall) ownerRef() *flightOwner { return c.owner.Load() }
 
 func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: map[string]*flightCall{}}

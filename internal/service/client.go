@@ -55,6 +55,10 @@ type CallInfo struct {
 	// Body is the raw response body — byte-identical across cache hits
 	// and fresh runs of the same request.
 	Body []byte
+	// TraceID is this call's own trace ID from the X-Adassure-Trace
+	// header (empty when the server traces nothing). The body's trace_id
+	// can differ: it names the run that produced the bytes.
+	TraceID string
 }
 
 // Run executes (or fetches from cache) one scenario on the server.
@@ -78,9 +82,10 @@ func (c *Client) Run(ctx context.Context, req Request) (*Response, *CallInfo, er
 		return nil, nil, fmt.Errorf("service: read response: %w", err)
 	}
 	info := &CallInfo{
-		Cache:  hres.Header.Get(CacheHeader),
-		Status: hres.StatusCode,
-		Body:   body,
+		Cache:   hres.Header.Get(CacheHeader),
+		Status:  hres.StatusCode,
+		Body:    body,
+		TraceID: hres.Header.Get(TraceHeader),
 	}
 	if hres.StatusCode == http.StatusTooManyRequests {
 		retry := time.Second
@@ -99,19 +104,62 @@ func (c *Client) Run(ctx context.Context, req Request) (*Response, *CallInfo, er
 	return &resp, info, nil
 }
 
-// Metrics fetches the server's metrics snapshot.
+// Metrics fetches the server's JSON metrics snapshot (/metrics.json).
 func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
-	body, err := c.getJSON(ctx, "/metrics")
+	body, err := c.getJSON(ctx, "/metrics.json")
 	if err != nil {
 		return obs.Snapshot{}, err
 	}
 	return obs.ReadSnapshot(bytes.NewReader(body))
 }
 
+// MetricsText fetches the raw Prometheus exposition from /metrics.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	return c.getJSON(ctx, "/metrics")
+}
+
 // Healthz checks liveness; it fails on any non-200 answer.
 func (c *Client) Healthz(ctx context.Context) error {
 	_, err := c.getJSON(ctx, "/healthz")
 	return err
+}
+
+// Readyz probes readiness: ready==false with a nil error means the
+// server answered 503 deliberately (draining or saturated); status is
+// the reported state string either way.
+func (c *Client) Readyz(ctx context.Context) (ready bool, status string, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return false, "", err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return false, "", err
+	}
+	defer hres.Body.Close()
+	body, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return false, "", err
+	}
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return false, "", fmt.Errorf("service: decode readyz: %w", err)
+	}
+	switch hres.StatusCode {
+	case http.StatusOK:
+		return true, doc.Status, nil
+	case http.StatusServiceUnavailable:
+		return false, doc.Status, nil
+	default:
+		return false, doc.Status, fmt.Errorf("service: GET /readyz: %s", hres.Status)
+	}
+}
+
+// Trace fetches one trace's span export from /debug/traces/{id}.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	return c.getJSON(ctx, "/debug/traces/"+id)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string) ([]byte, error) {

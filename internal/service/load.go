@@ -46,6 +46,22 @@ type LoadReport struct {
 	Throughput float64
 	// Latency is the client-observed request latency distribution.
 	Latency obs.HistogramSummary
+	// QueueWaitP95 is the server-side admission-queue wait p95 in
+	// nanoseconds, scraped from the server's metrics after the run (0 when
+	// the scrape failed or nothing queued) — the split between "the server
+	// was slow" and "the queue was deep".
+	QueueWaitP95 float64
+}
+
+// scrapeQueueWaitP95 pulls the runner.pool.queue_wait_ns p95 from the
+// server's JSON metrics snapshot; a failed scrape degrades to 0 rather
+// than failing the report.
+func scrapeQueueWaitP95(ctx context.Context, c *Client) float64 {
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		return 0
+	}
+	return snap.Histograms["runner.pool.queue_wait_ns"].P95
 }
 
 // RunLoad drives the server with opts.Concurrency workers until
@@ -130,14 +146,15 @@ func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*L
 	elapsed := time.Since(start)
 
 	rep := &LoadReport{
-		Requests:  completed.Load(),
-		Errors:    errCtr.Value(),
-		QueueFull: fullCtr.Value(),
-		Hits:      hitCtr.Value(),
-		Misses:    missCtr.Value(),
-		Coalesced: coalCtr.Value(),
-		Elapsed:   elapsed,
-		Latency:   latNS.Summary(),
+		Requests:     completed.Load(),
+		Errors:       errCtr.Value(),
+		QueueFull:    fullCtr.Value(),
+		Hits:         hitCtr.Value(),
+		Misses:       missCtr.Value(),
+		Coalesced:    coalCtr.Value(),
+		Elapsed:      elapsed,
+		Latency:      latNS.Summary(),
+		QueueWaitP95: scrapeQueueWaitP95(ctx, c),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(okCtr.Value()) / secs
@@ -160,4 +177,5 @@ func (r *LoadReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "throughput  %.1f req/s\n", r.Throughput)
 	fmt.Fprintf(w, "latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (mean %.2f ms, n=%d)\n",
 		r.Latency.P50/1e6, r.Latency.P95/1e6, r.Latency.P99/1e6, r.Latency.Mean/1e6, r.Latency.Count)
+	fmt.Fprintf(w, "queue wait  p95 %.2f ms (server-side)\n", r.QueueWaitP95/1e6)
 }

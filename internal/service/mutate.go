@@ -9,9 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"adassure/internal/mutate"
 	"adassure/internal/runner"
+	"adassure/internal/telemetry"
 )
 
 // MutateRequest is one mutation-campaign request for POST /v1/mutate. The
@@ -126,8 +128,11 @@ func (r MutateRequest) Config() mutate.Config {
 // cache → single-flight → pool → respond with the kill-matrix report.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	tm := s.reqNS.Start()
-	defer tm.Stop()
+	sp := telemetry.SpanFrom(r.Context())
+	start := time.Now()
+	defer func() {
+		s.reqNS.ObserveEx(time.Since(start).Nanoseconds(), sp.TraceID().String())
+	}()
 
 	var req MutateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -145,7 +150,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canon.Key()
 
+	lookup := sp.StartChild("cache.lookup")
 	if body, ok := s.cache.get(key); ok {
+		lookup.SetAttr("disposition", "hit")
+		lookup.End()
 		w.Header().Set(CacheHeader, "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
@@ -153,9 +161,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 
 	call, leader := s.flight.join(key)
 	disposition := "coalesced"
+	var wait *telemetry.Span
 	if leader {
 		disposition = "miss"
-		if err := s.submitMutate(key, canon, call); err != nil {
+		call.setOwner(sp)
+		wait = sp.StartChild("queue.wait")
+		if err := s.submitMutate(key, canon, call, sp, wait); err != nil {
+			wait.End()
 			s.flight.forget(key)
 			status := http.StatusServiceUnavailable
 			if errors.Is(err, runner.ErrQueueFull) {
@@ -166,12 +178,25 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		s.coalesced.Inc()
+		wait = sp.StartChild("coalesced.wait")
+		if owner := call.ownerRef(); owner != nil {
+			wait.AddLink(owner.trace, owner.span)
+			wait.SetAttr("executing_trace", owner.trace.String())
+		}
 	}
+	lookup.SetAttr("disposition", disposition)
+	lookup.End()
 
 	select {
 	case <-call.done:
 	case <-r.Context().Done():
+		if !leader {
+			wait.End()
+		}
 		return
+	}
+	if !leader {
+		wait.End()
 	}
 	if call.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
@@ -183,12 +208,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitMutate hands the campaign to the pool, mirroring submit.
-func (s *Server) submitMutate(key string, req MutateRequest, call *flightCall) error {
+func (s *Server) submitMutate(key string, req MutateRequest, call *flightCall, parent, wait *telemetry.Span) error {
 	if s.closed.Load() {
 		return fmt.Errorf("service: shutting down")
 	}
 	return s.pool.TrySubmit(s.baseCtx, func(ctx context.Context) {
-		s.executeMutate(ctx, key, req, call)
+		wait.End()
+		s.executeMutate(ctx, key, req, call, parent)
 	}, func(recovered any) {
 		s.simErrors.Inc()
 		s.flight.forget(key)
@@ -198,16 +224,21 @@ func (s *Server) submitMutate(key string, req MutateRequest, call *flightCall) e
 
 // executeMutate runs one campaign under the per-request budget and
 // publishes the report to cache and waiters.
-func (s *Server) executeMutate(ctx context.Context, key string, req MutateRequest, call *flightCall) {
+func (s *Server) executeMutate(ctx context.Context, key string, req MutateRequest, call *flightCall, parent *telemetry.Span) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 	defer cancel()
 
-	rt := s.runNS.Start()
+	ex := parent.StartChild("execute")
+	start := time.Now()
 	cfg := req.Config()
 	cfg.Context = ctx
 	cfg.Obs = s.reg // aggregate sim/monitor metrics across all runs
 	rep, err := mutate.Run(cfg)
-	rt.Stop()
+	s.runNS.ObserveEx(time.Since(start).Nanoseconds(), parent.TraceID().String())
+	if err != nil {
+		ex.SetAttr("error", err.Error())
+	}
+	ex.End()
 
 	if err != nil {
 		status := http.StatusInternalServerError

@@ -22,7 +22,12 @@ type Response struct {
 	// Request echoes the canonicalized request the response answers.
 	Request Request `json:"request"`
 	// Key is the content address of the request (the cache key).
-	Key        string             `json:"key"`
+	Key string `json:"key"`
+	// TraceID names the trace of the run that produced these bytes. A
+	// cached or coalesced response keeps the executing run's trace ID (the
+	// bytes are shared), while the X-Adassure-Trace header always carries
+	// the current request's own trace.
+	TraceID    string             `json:"trace_id,omitempty"`
 	Summary    RunSummary         `json:"summary"`
 	Violations []Violation        `json:"violations,omitempty"`
 	Hypotheses []Hypothesis       `json:"hypotheses,omitempty"`
@@ -70,12 +75,16 @@ type Hypothesis struct {
 
 // buildResponse assembles the response for a completed run and marshals
 // it once; the returned bytes are what the cache stores and every waiter
-// receives.
-func buildResponse(req Request, out *adassure.ScenarioResult) ([]byte, error) {
+// receives. traceID is the executing run's trace (empty when tracing is
+// off, which keeps fresh-vs-fresh bodies byte-identical — with tracing on
+// the trace_id field is the one deliberately run-specific part of the
+// body).
+func buildResponse(req Request, out *adassure.ScenarioResult, traceID string) ([]byte, error) {
 	resp := Response{
 		Schema:  ResponseSchema,
 		Request: req,
 		Key:     req.Key(),
+		TraceID: traceID,
 		Summary: RunSummary{
 			SimTime:       out.Sim.SimTime,
 			Steps:         out.Sim.Steps,
@@ -118,7 +127,7 @@ func buildResponse(req Request, out *adassure.ScenarioResult) ([]byte, error) {
 		})
 	}
 	if req.Bundles {
-		resp.Bundles = buildBundles(req, out)
+		resp.Bundles = buildBundles(req, out, traceID)
 	}
 	return json.Marshal(&resp)
 }
@@ -130,7 +139,7 @@ func buildResponse(req Request, out *adassure.ScenarioResult) ([]byte, error) {
 // and fresh responses differ byte-wise and break cache soundness. All
 // remaining sections (trace slice, frames, attack state, hypotheses) are
 // deterministic in the request.
-func buildBundles(req Request, out *adassure.ScenarioResult) []forensics.Bundle {
+func buildBundles(req Request, out *adassure.ScenarioResult, traceID string) []forensics.Bundle {
 	var attack *forensics.AttackInfo
 	if req.Attack != "none" {
 		attack = &forensics.AttackInfo{
@@ -141,6 +150,7 @@ func buildBundles(req Request, out *adassure.ScenarioResult) []forensics.Bundle 
 		}
 	}
 	return forensics.Build(forensics.Input{
+		TraceID: traceID,
 		Scenario: map[string]string{
 			"track":      req.Track,
 			"controller": req.Controller,

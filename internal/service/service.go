@@ -16,17 +16,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/run      execute (or serve from cache) one scenario
-//	POST /v1/stream   online monitoring: NDJSON frames in, NDJSON events out
-//	POST /v1/mutate   execute (or serve from cache) one mutation campaign
-//	GET  /v1/catalog  enumerate tracks, controllers, attacks, assertions, mutants
-//	GET  /healthz     liveness + queue occupancy
-//	GET  /metrics     JSON snapshot of the obs registry
-//	GET  /debug/pprof net/http/pprof (when Config.EnablePprof)
+//	POST /v1/run            execute (or serve from cache) one scenario
+//	POST /v1/stream         online monitoring: NDJSON frames in, NDJSON events out
+//	POST /v1/mutate         execute (or serve from cache) one mutation campaign
+//	GET  /v1/catalog        enumerate tracks, controllers, attacks, assertions, mutants
+//	GET  /healthz           liveness only (process up and answering)
+//	GET  /readyz            readiness: queue saturation + drain state (503 while draining)
+//	GET  /metrics           Prometheus/OpenMetrics text exposition of the obs registry
+//	GET  /metrics.json      JSON snapshot of the obs registry
+//	GET  /debug/buildinfo   module path, Go version and VCS stamp of the binary
+//	GET  /debug/traces      trace IDs currently held by the in-process trace store
+//	GET  /debug/traces/{id} one trace's spans as adassure/spans/v1 JSON
+//	GET  /debug/pprof       net/http/pprof (when Config.EnablePprof)
 //
 // The X-Adassure-Cache response header reports how a /v1/run body was
 // produced: "miss" (fresh simulation), "hit" (served from cache) or
 // "coalesced" (attached to a concurrent identical run).
+//
+// Every /v1/* request is traced: the handler continues an inbound W3C
+// traceparent (or starts a fresh trace), children cover the cache lookup,
+// queue wait and execution phases, and the X-Adassure-Trace response
+// header names the trace so it can be fetched from /debug/traces/{id} and
+// matched against slog output and histogram exemplars.
 package service
 
 import (
@@ -34,8 +45,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,6 +57,7 @@ import (
 	"adassure"
 	"adassure/internal/obs"
 	"adassure/internal/runner"
+	"adassure/internal/telemetry"
 )
 
 // CacheHeader is the response header reporting cache disposition.
@@ -78,6 +92,14 @@ type Config struct {
 	EnablePprof bool
 	// Stream bounds /v1/stream sessions (zero value = defaults).
 	Stream StreamLimits
+	// Tracer, when non-nil, records a span tree per request and serves it
+	// under /debug/traces. Nil disables tracing: every span operation is a
+	// single-branch no-op and /debug/traces answers an empty list.
+	Tracer *telemetry.Tracer
+	// Logger receives one structured record per request (plus stream
+	// session and pool lifecycle events), each carrying trace_id/span_id.
+	// Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) defaults() {
@@ -96,6 +118,9 @@ func (c *Config) defaults() {
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	c.Stream.defaults()
 }
 
@@ -109,9 +134,13 @@ type Server struct {
 	flight *flightGroup
 	mux    *http.ServeMux
 
+	tracer *telemetry.Tracer
+	log    *slog.Logger
+
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 	closed     atomic.Bool
+	draining   atomic.Bool
 
 	// Streaming sessions get their own cancellation so Close can drain
 	// them (each delivers its session-closed event) independently of the
@@ -140,6 +169,8 @@ func New(cfg Config) *Server {
 		reg:    cfg.Obs,
 		cache:  newResultCache(cfg.CacheBytes, cfg.Obs),
 		flight: newFlightGroup(),
+		tracer: cfg.Tracer,
+		log:    cfg.Logger,
 
 		requests:  cfg.Obs.Counter("service.requests"),
 		reqNS:     cfg.Obs.Histogram("service.request_ns"),
@@ -158,15 +189,21 @@ func New(cfg Config) *Server {
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
 		Obs:        cfg.Obs,
+		Logger:     cfg.Logger,
 	})
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/stream", s.handleStream)
-	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("POST /v1/run", s.traced("/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/stream", s.traced("/v1/stream", s.handleStream))
+	mux.HandleFunc("POST /v1/mutate", s.traced("/v1/mutate", s.handleMutate))
+	mux.HandleFunc("GET /v1/catalog", s.traced("/v1/catalog", s.handleCatalog))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /debug/buildinfo", s.handleBuildinfo)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("/", s.handleFallback)
 	if cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -185,6 +222,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry returns the metrics registry backing /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the trace store backing /debug/traces (nil when tracing
+// is disabled).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// BeginDrain flips /readyz to 503 without refusing work: admission stays
+// open so in-flight and just-arrived requests complete, but load
+// balancers watching readiness stop sending new ones. Call it ahead of
+// Close to drain gracefully.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.log.Info("drain started")
+	}
+}
 
 // Close stops admission, drains streaming sessions (each delivers its
 // final session-closed event before its handler returns) and drains
@@ -232,8 +283,11 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 // single-flight → pool → respond.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	tm := s.reqNS.Start()
-	defer tm.Stop()
+	sp := telemetry.SpanFrom(r.Context())
+	start := time.Now()
+	defer func() {
+		s.reqNS.ObserveEx(time.Since(start).Nanoseconds(), sp.TraceID().String())
+	}()
 
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -251,7 +305,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canon.Key()
 
-	if body, ok := s.cache.get(key); ok {
+	lookup := sp.StartChild("cache.lookup")
+	body, ok := s.cache.get(key)
+	if ok {
+		lookup.SetAttr("disposition", "hit")
+		lookup.End()
 		w.Header().Set(CacheHeader, "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
@@ -259,9 +317,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	call, leader := s.flight.join(key)
 	disposition := "coalesced"
+	var wait *telemetry.Span
 	if leader {
 		disposition = "miss"
-		if err := s.submit(key, canon, call); err != nil {
+		// Stamp the call with this trace before the job can finish, so
+		// followers joining the same flight can link to the executing
+		// trace from theirs.
+		call.setOwner(sp)
+		// The queue-wait span opens before submission and is closed by the
+		// job the moment a worker picks it up (or right here on a failed
+		// submit) — its extent is exactly the time spent in the admission
+		// queue.
+		wait = sp.StartChild("queue.wait")
+		if err := s.submit(key, canon, call, sp, wait); err != nil {
+			wait.End()
 			// The leader could not start the run; everyone attached to
 			// this call (the leader and any follower that joined since)
 			// gets the same backpressure answer.
@@ -275,14 +344,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		s.coalesced.Inc()
+		wait = sp.StartChild("coalesced.wait")
+		if owner := call.ownerRef(); owner != nil {
+			// The work happens in the leader's trace; a link from the
+			// waiter's span makes the join navigable from either side.
+			wait.AddLink(owner.trace, owner.span)
+			wait.SetAttr("executing_trace", owner.trace.String())
+		}
 	}
+	lookup.SetAttr("disposition", disposition)
+	lookup.End()
 
 	select {
 	case <-call.done:
 	case <-r.Context().Done():
 		// The client went away; the run (if any) continues and will fill
 		// the cache for the next asker.
+		if !leader {
+			wait.End()
+		}
 		return
+	}
+	if !leader {
+		wait.End()
 	}
 	if call.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
@@ -294,14 +378,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // submit hands the run to the pool. On success the pool job owns the
-// call: it caches, forgets and finishes. On error the caller keeps
-// ownership.
-func (s *Server) submit(key string, req Request, call *flightCall) error {
+// call: it caches, forgets and finishes (and closes the queue-wait span
+// on pickup). On error the caller keeps ownership of both.
+func (s *Server) submit(key string, req Request, call *flightCall, parent, wait *telemetry.Span) error {
 	if s.closed.Load() {
 		return fmt.Errorf("service: shutting down")
 	}
 	return s.pool.TrySubmit(s.baseCtx, func(ctx context.Context) {
-		s.execute(ctx, key, req, call)
+		wait.End()
+		s.execute(ctx, key, req, call, parent)
 	}, func(recovered any) {
 		// Pool backstop: a panicking run must not strand the waiters.
 		s.simErrors.Inc()
@@ -311,18 +396,24 @@ func (s *Server) submit(key string, req Request, call *flightCall) error {
 }
 
 // execute runs one simulation under the per-request budget and publishes
-// the outcome to cache and waiters.
-func (s *Server) execute(ctx context.Context, key string, req Request, call *flightCall) {
+// the outcome to cache and waiters. parent is the submitting request's
+// root span; starting a child from a worker goroutine is safe because a
+// span's identity fields are immutable after creation.
+func (s *Server) execute(ctx context.Context, key string, req Request, call *flightCall, parent *telemetry.Span) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 	defer cancel()
 
-	rt := s.runNS.Start()
+	ex := parent.StartChild("execute")
+	start := time.Now()
 	scn := req.Scenario()
 	scn.Obs = s.reg // aggregate sim/monitor metrics across all runs
+	scn.Span = ex   // phase spans (sim+monitor, diagnosis) hang off this
 	out, err := scn.RunContext(ctx)
-	rt.Stop()
+	s.runNS.ObserveEx(time.Since(start).Nanoseconds(), parent.TraceID().String())
 
 	if err != nil {
+		ex.SetAttr("error", err.Error())
+		ex.End()
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -337,7 +428,12 @@ func (s *Server) execute(ctx context.Context, key string, req Request, call *fli
 		call.finish(errorBody("run scenario: "+err.Error()), status, err)
 		return
 	}
-	body, err := buildResponse(req, out)
+	if ex.Enabled() {
+		ex.SetInt("violations", int64(len(out.Violations)))
+		ex.SetInt("steps", int64(out.Sim.Steps))
+	}
+	ex.End()
+	body, err := buildResponse(req, out, parent.TraceID().String())
 	if err != nil {
 		s.simErrors.Inc()
 		s.flight.forget(key)
@@ -369,12 +465,16 @@ func retryAfterSeconds(d time.Duration) int {
 // both with the uniform JSON error envelope instead of the mux's plain
 // text.
 var routeMethods = map[string]string{
-	"/v1/run":     "POST",
-	"/v1/stream":  "POST",
-	"/v1/mutate":  "POST",
-	"/v1/catalog": "GET",
-	"/healthz":    "GET",
-	"/metrics":    "GET",
+	"/v1/run":          "POST",
+	"/v1/stream":       "POST",
+	"/v1/mutate":       "POST",
+	"/v1/catalog":      "GET",
+	"/healthz":         "GET",
+	"/readyz":          "GET",
+	"/metrics":         "GET",
+	"/metrics.json":    "GET",
+	"/debug/buildinfo": "GET",
+	"/debug/traces":    "GET",
 }
 
 // handleFallback answers every request no registered route claims.
@@ -389,7 +489,8 @@ func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusNotFound, errorBody("unknown route "+r.URL.Path))
 }
 
-// handleHealthz reports liveness and queue occupancy.
+// handleHealthz is pure liveness: the process is up and answering. It
+// stays 200 through a drain — use /readyz to steer traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.closed.Load() {
@@ -403,12 +504,96 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, b)
 }
 
-// handleMetrics serves the JSON snapshot of the obs registry.
+// handleReadyz is the traffic-steering probe: 503 once BeginDrain or
+// Close has been called, or while the admission queue is saturated (a new
+// run would be shed with 429 anyway). The body always reports the reason
+// and queue occupancy.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	qlen, qcap := s.pool.QueueLen(), s.pool.Cap()
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.closed.Load() || s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case qlen >= qcap:
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	b, _ := json.Marshal(map[string]any{
+		"status":    status,
+		"queue_len": qlen,
+		"queue_cap": qcap,
+	})
+	writeJSON(w, code, b)
+}
+
+// handleMetrics serves the Prometheus/OpenMetrics text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetricsJSON serves the JSON snapshot of the obs registry (the
+// format /metrics carried before the Prometheus exposition took it over).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handleBuildinfo reports what binary is serving: module path, Go
+// version and, when the binary was built from a checkout, the VCS stamp.
+func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody("build info unavailable"))
+		return
+	}
+	vcs := map[string]string{}
+	for _, st := range info.Settings {
+		switch st.Key {
+		case "vcs", "vcs.revision", "vcs.time", "vcs.modified":
+			vcs[st.Key] = st.Value
+		}
+	}
+	b, _ := json.Marshal(map[string]any{
+		"go_version": info.GoVersion,
+		"path":       info.Path,
+		"module":     info.Main.Path,
+		"version":    info.Main.Version,
+		"vcs":        vcs,
+	})
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleTraces lists the trace IDs the store currently holds, oldest
+// first — the index for /debug/traces/{id}.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	ids := s.tracer.TraceIDs()
+	strs := make([]string, len(ids))
+	for i, id := range ids {
+		strs[i] = id.String()
+	}
+	b, _ := json.Marshal(map[string]any{"traces": strs})
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleTraceByID serves one trace's span tree as adassure/spans/v1 JSON
+// (the format adassure-trace renders and converts to Perfetto).
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id, err := telemetry.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody("invalid trace id: "+err.Error()))
+		return
+	}
+	exp, ok := s.tracer.Export(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody("unknown trace "+id.String()))
+		return
+	}
+	b, _ := json.Marshal(exp)
+	writeJSON(w, http.StatusOK, b)
 }
 
 // handleCatalog enumerates the accepted request vocabulary.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"adassure/internal/core"
 	"adassure/internal/stream"
+	"adassure/internal/telemetry"
 )
 
 // StreamLimits bounds one /v1/stream session. The zero value applies the
@@ -162,6 +164,9 @@ func parseStreamParams(r *http.Request, limits StreamLimits) (streamParams, erro
 // yet, a structured HTTP error.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	// Streams are never cached or coalesced; say so the same way /v1/run
+	// reports its disposition.
+	w.Header().Set(CacheHeader, "bypass")
 	if s.closed.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody("service: shutting down"))
 		return
@@ -170,6 +175,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer s.streamWG.Done()
 	s.streamSessions.Inc()
 
+	sp := telemetry.SpanFrom(r.Context())
 	limits := s.cfg.Stream
 	params, err := parseStreamParams(r, limits)
 	if err != nil {
@@ -177,6 +183,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody("invalid stream request: "+err.Error()))
 		return
 	}
+	if sp.Enabled() {
+		sp.SetAttr("assertions", strings.Join(params.assertions, ","))
+		sp.SetInt("heartbeat", int64(params.heartbeat))
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "stream session open",
+		slog.String("trace_id", sp.TraceID().String()),
+		slog.String("span_id", sp.SpanID().String()))
 
 	ew := newEventWriter(w)
 	suppress := false
@@ -210,6 +223,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 	_ = rc.SetWriteDeadline(time.Time{})
 
+	// closeLog stamps the session outcome on the request span and emits
+	// the paired session-close slog record.
+	closeLog := func(reason string, st stream.Stats) {
+		if sp.Enabled() {
+			sp.SetAttr("close_reason", reason)
+			sp.SetInt("frames", st.Frames)
+			sp.SetInt("events", ew.events)
+			sp.SetInt("violations", st.Violations)
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "stream session closed",
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.SpanID().String()),
+			slog.String("reason", reason),
+			slog.Int64("frames", st.Frames),
+			slog.Int64("events", ew.events),
+			slog.Int64("violations", st.Violations))
+	}
+
 	// finish ends the session exactly once. With events already on the
 	// wire the close arrives as the final NDJSON event (carrying the
 	// status code for terminal limit breaches); before any event, an
@@ -217,12 +248,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	finish := func(reason string, code int, msg string) {
 		if code >= 400 && !ew.started {
 			suppress = true
-			sess.CloseWith(reason, code)
+			closeLog(reason, sess.CloseWith(reason, code))
 			s.badReqs.Inc()
 			writeJSON(w, code, errorBody(msg))
 			return
 		}
-		sess.CloseWith(reason, code)
+		closeLog(reason, sess.CloseWith(reason, code))
 	}
 
 	// The reader goroutine owns r.Body; lines flow through a channel so
@@ -290,7 +321,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			// Client went away mid-session; nothing left to write to.
 			suppress = true
-			sess.CloseWith(stream.ReasonClient, 0)
+			closeLog(stream.ReasonClient, sess.CloseWith(stream.ReasonClient, 0))
 			return
 		case <-s.streamCtx.Done():
 			// Graceful drain: the close event is delivered on the open

@@ -42,6 +42,12 @@ type StreamResult struct {
 	Status int
 	// Events is the full event transcript in arrival order.
 	Events []stream.Event
+	// Cache is the X-Adassure-Cache disposition — always "bypass" for
+	// streams (they are never cached or coalesced).
+	Cache string
+	// TraceID is the session's trace ID from X-Adassure-Trace (empty when
+	// the server traces nothing).
+	TraceID string
 }
 
 // Closed returns the final session-closed event, if the stream delivered
@@ -88,7 +94,11 @@ func (c *Client) Stream(ctx context.Context, frames io.Reader, opts StreamOption
 	}
 	defer hres.Body.Close()
 
-	res := &StreamResult{Status: hres.StatusCode}
+	res := &StreamResult{
+		Status:  hres.StatusCode,
+		Cache:   hres.Header.Get(CacheHeader),
+		TraceID: hres.Header.Get(TraceHeader),
+	}
 	if hres.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(hres.Body)
 		return res, fmt.Errorf("service: stream: %s: %s", hres.Status, strings.TrimSpace(string(body)))
@@ -136,11 +146,18 @@ type StreamLoadReport struct {
 	Frames     int64
 	Events     int64
 	Violations int64
-	Elapsed    time.Duration
+	// Bypass counts sessions whose cache disposition confirmed the
+	// stream bypassed the result cache (all of them, on a current server).
+	Bypass  int64
+	Elapsed time.Duration
 	// FrameRate is accepted frames per second across all sessions.
 	FrameRate float64
 	// Latency is the whole-session wall-time distribution.
 	Latency obs.HistogramSummary
+	// QueueWaitP95 is the server-side admission-queue wait p95 in
+	// nanoseconds, scraped after the run (streams do not queue, but
+	// concurrent batch traffic shows up here).
+	QueueWaitP95 float64
 }
 
 // RunStreamLoad drives the streaming endpoint with opts.Concurrency
@@ -164,6 +181,7 @@ func RunStreamLoad(ctx context.Context, c *Client, frames []byte, opts StreamLoa
 		frameCtr  = reg.Counter("load.stream.frames")
 		eventCtr  = reg.Counter("load.stream.events")
 		violCtr   = reg.Counter("load.stream.violations")
+		bypassCtr = reg.Counter("load.stream.bypass")
 		next      atomic.Int64
 		completed atomic.Int64
 		firstErr  error
@@ -193,6 +211,9 @@ func RunStreamLoad(ctx context.Context, c *Client, frames []byte, opts StreamLoa
 					continue
 				}
 				eventCtr.Add(int64(len(res.Events)))
+				if res.Cache == "bypass" {
+					bypassCtr.Inc()
+				}
 				if closed, ok := res.Closed(); ok {
 					frameCtr.Add(closed.Frames)
 					if closed.Stats != nil {
@@ -206,13 +227,15 @@ func RunStreamLoad(ctx context.Context, c *Client, frames []byte, opts StreamLoa
 	elapsed := time.Since(start)
 
 	rep := &StreamLoadReport{
-		Sessions:   completed.Load(),
-		Errors:     errCtr.Value(),
-		Frames:     frameCtr.Value(),
-		Events:     eventCtr.Value(),
-		Violations: violCtr.Value(),
-		Elapsed:    elapsed,
-		Latency:    sessNS.Summary(),
+		Sessions:     completed.Load(),
+		Errors:       errCtr.Value(),
+		Frames:       frameCtr.Value(),
+		Events:       eventCtr.Value(),
+		Violations:   violCtr.Value(),
+		Bypass:       bypassCtr.Value(),
+		Elapsed:      elapsed,
+		Latency:      sessNS.Summary(),
+		QueueWaitP95: scrapeQueueWaitP95(ctx, c),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.FrameRate = float64(rep.Frames) / secs
@@ -227,9 +250,11 @@ func RunStreamLoad(ctx context.Context, c *Client, frames []byte, opts StreamLoa
 // emits in streaming mode.
 func (r *StreamLoadReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "sessions    %d (ok %d, errors %d)\n", r.Sessions, r.Sessions-r.Errors, r.Errors)
+	fmt.Fprintf(w, "cache       bypass %d\n", r.Bypass)
 	fmt.Fprintf(w, "frames      %d (%d events, %d violations)\n", r.Frames, r.Events, r.Violations)
 	fmt.Fprintf(w, "elapsed     %.2f s\n", r.Elapsed.Seconds())
 	fmt.Fprintf(w, "frame rate  %.0f frames/s\n", r.FrameRate)
 	fmt.Fprintf(w, "session     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (mean %.2f ms, n=%d)\n",
 		r.Latency.P50/1e6, r.Latency.P95/1e6, r.Latency.P99/1e6, r.Latency.Mean/1e6, r.Latency.Count)
+	fmt.Fprintf(w, "queue wait  p95 %.2f ms (server-side)\n", r.QueueWaitP95/1e6)
 }

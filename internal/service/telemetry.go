@@ -1,0 +1,91 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"adassure/internal/telemetry"
+)
+
+// TraceHeader carries the trace ID of the request's own trace on every
+// traced response, so a caller can correlate its call with slog output,
+// histogram exemplars and /debug/traces/<id> without parsing the body.
+// (The body's trace_id field is different: it names the trace of the run
+// that produced the bytes, which for cache hits and coalesced waiters is
+// an earlier or concurrent request's trace.)
+const TraceHeader = "X-Adassure-Trace"
+
+// statusWriter captures the response status for the span and the labeled
+// request counter. It forwards Flush (the stream handler's eventWriter
+// type-asserts http.Flusher) and exposes Unwrap so http.ResponseController
+// can reach the underlying connection for deadlines and full-duplex.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// traced wraps a handler with the per-request telemetry envelope: a root
+// span continuing any inbound W3C traceparent, the X-Adassure-Trace and
+// traceparent response headers, a labeled request counter and one slog
+// record carrying the trace/span IDs. With a nil tracer and a discard
+// logger the wrapper degrades to a status-capturing passthrough.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sp := s.tracer.StartSpan("http "+route, r.Header.Get("traceparent"))
+		if sp.Enabled() {
+			sp.SetAttr("route", route)
+			sp.SetAttr("method", r.Method)
+			w.Header().Set(TraceHeader, sp.TraceID().String())
+			w.Header().Set("traceparent", sp.TraceParent())
+			r = r.WithContext(telemetry.ContextWithSpan(r.Context(), sp))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		if sp.Enabled() {
+			sp.SetInt("status", int64(status))
+			sp.End()
+		}
+		s.reg.CounterL("service.http.requests",
+			"route", route, "status", strconv.Itoa(status)).Inc()
+		if s.log.Enabled(r.Context(), slog.LevelInfo) {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("trace_id", sp.TraceID().String()),
+				slog.String("span_id", sp.SpanID().String()),
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", status),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	}
+}

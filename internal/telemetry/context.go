@@ -1,0 +1,25 @@
+package telemetry
+
+import "context"
+
+// ctxKey is the private context key for the active span.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sp. A nil span returns ctx
+// unchanged, so the detached path allocates nothing.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFrom returns the span carried by ctx, or nil. All span methods are
+// nil-safe, so callers chain without checking.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
