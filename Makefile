@@ -9,9 +9,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke stream-smoke
+.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke stream-smoke fleet-smoke
 
-check: vet build race golden stream-smoke fuzz-smoke
+check: vet build race golden stream-smoke fleet-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,13 @@ golden-update:
 stream-smoke:
 	$(GO) test ./internal/stream -run 'TestStreamMatchesBatch|TestSessionStreamsViolations' -count=1
 	$(GO) test ./internal/service -run 'TestStream' -count=1
+
+# Fleet-tier gate: the consistent-hash ring, async job manager and
+# persistent store package suites, plus the in-process coordinator /
+# failover / store-restart / limits-validation service tests.
+fleet-smoke:
+	$(GO) test ./internal/shard ./internal/jobs ./internal/store -count=1
+	$(GO) test ./internal/service -run 'TestJob|TestCoordinator|TestStoreTier|TestLimits' -count=1
 
 # Run each native fuzz target for $(FUZZTIME) on top of its committed seed
 # corpus — a cheap crash/contract smoke, not a deep campaign.

@@ -8,6 +8,12 @@
 //	    [-attack gnss-drift-spoof] [-duration 20] [-spread-seeds 0]
 //	    [-backoff] [-metrics out.json]
 //	adassure-load -stream [-n 16] [-c 4] [-heartbeat 0] ...
+//	adassure-load -jobs [-n 100] [-c 8] ...
+//
+// With -jobs each logical request goes through the async job API (POST
+// /v1/jobs → poll → GET /v1/jobs/{id}/result) instead of the blocking
+// /v1/run, so the tool measures the whole submit-to-terminal cycle —
+// against either a standalone server or a fleet coordinator.
 //
 // With -spread-seeds 0 (the default) every request is identical, so
 // after the first simulation the run measures the cache-hit/coalescing
@@ -59,6 +65,7 @@ func run(argv []string, stdout, stderr *os.File) error {
 		metricsPath = fs.String("metrics", "", "write the client-side metrics snapshot to this file")
 		timeout     = fs.Duration("timeout", 10*time.Minute, "overall load-run budget")
 		streamMode  = fs.Bool("stream", false, "drive POST /v1/stream with NDJSON frame sessions instead of /v1/run")
+		jobsMode    = fs.Bool("jobs", false, "drive the async job API (submit → wait → result) instead of /v1/run")
 		heartbeat   = fs.Int("heartbeat", 0, "stream-mode heartbeat cadence in frames (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -93,8 +100,12 @@ func run(argv []string, stdout, stderr *os.File) error {
 		Duration:   *duration,
 		Guarded:    *guarded,
 	}
-	fmt.Fprintf(stderr, "adassure-load: %d requests x %d in flight against %s\n", *n, *conc, *target)
-	report, err := service.RunLoad(ctx, client, base, service.LoadOptions{
+	mode, runLoad := "requests", service.RunLoad
+	if *jobsMode {
+		mode, runLoad = "jobs", service.RunJobLoad
+	}
+	fmt.Fprintf(stderr, "adassure-load: %d %s x %d in flight against %s\n", *n, mode, *conc, *target)
+	report, err := runLoad(ctx, client, base, service.LoadOptions{
 		Requests:    *n,
 		Concurrency: *conc,
 		SpreadSeeds: *spreadSeeds,

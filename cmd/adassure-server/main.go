@@ -19,6 +19,30 @@
 //	    [-retry-after 1s] [-pprof] [-metrics out.json]
 //	    [-stream-hz 2000] [-stream-session 5m] [-stream-error-budget 0]
 //	    [-log-format text|json] [-trace-store 256] [-readiness-grace 0s]
+//	    [-role standalone|worker|coordinator] [-peers url,url,...]
+//	    [-store-dir DIR] [-store-bytes N]
+//	    [-jobs-workers 2] [-jobs-queue 16] [-jobs-retention 256] [-no-jobs]
+//
+// Fleet roles: the default "standalone" executes everything locally.
+// "worker" is a standalone execution node addressed by a coordinator
+// (give it -store-dir so its shard of results survives restarts).
+// "coordinator" requires -peers and executes nothing itself: every keyed
+// request — synchronous /v1/run and async /v1/jobs alike — is routed to
+// its content-address owner on a consistent-hash ring over the workers,
+// with health-checked failover. POST /v1/jobs returns 202 + a job id;
+// poll GET /v1/jobs/{id}, stream NDJSON progress from
+// /v1/jobs/{id}/events, fetch bytes from /v1/jobs/{id}/result, cancel
+// with DELETE.
+//
+// -store-dir enables the persistent result store (append-only CRC-checked
+// segments): cache misses fall through to it before simulating, and every
+// fresh result is appended, so cached evidence survives restarts.
+//
+// All resource limits are validated together at boot — nonsense
+// combinations (a cache cap that cannot hold one response, -store-bytes
+// without -store-dir, a job tier wider than 4x the simulation pool) are
+// rejected with one error listing every violation, and the resolved
+// values are logged as a single "limits" record.
 //
 // POST /v1/stream serves online monitoring: chunked NDJSON frames in,
 // NDJSON events out over one full-duplex exchange, with per-session
@@ -57,8 +81,11 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"adassure/internal/obs"
 	"adassure/internal/service"
+	"adassure/internal/store"
 	"adassure/internal/telemetry"
 )
 
@@ -91,6 +118,14 @@ func run(argv []string, stdout, stderr *os.File) error {
 		logFormat    = fs.String("log-format", "text", "structured log format: text or json (stderr)")
 		traceStore   = fs.Int("trace-store", 256, "completed traces retained for /debug/traces (0 disables tracing)")
 		readyGrace   = fs.Duration("readiness-grace", 0, "after /readyz flips to 503 on shutdown, wait this long before closing the listener")
+		role         = fs.String("role", "standalone", "fleet role: standalone, worker, or coordinator")
+		peers        = fs.String("peers", "", "comma-separated worker base URLs (coordinator role)")
+		storeDir     = fs.String("store-dir", "", "persistent result store directory (empty disables)")
+		storeBytes   = fs.Int64("store-bytes", 0, "persistent store cap in bytes (default 256 MiB)")
+		jobsWorkers  = fs.Int("jobs-workers", 0, "async job dispatchers (default 2)")
+		jobsQueue    = fs.Int("jobs-queue", 0, "async job queue depth (default 8x job workers)")
+		jobsKeep     = fs.Int("jobs-retention", 0, "finished jobs retained for polling (default 256)")
+		noJobs       = fs.Bool("no-jobs", false, "disable the /v1/jobs endpoints")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -110,7 +145,70 @@ func run(argv []string, stdout, stderr *os.File) error {
 		tracer = telemetry.New(telemetry.Config{MaxTraces: *traceStore})
 	}
 
+	// Role / peer-set sanity, then the combined limits validation: every
+	// violation is reported at once, and the resolved envelope is logged
+	// as one "limits" record before anything starts.
+	switch *role {
+	case "standalone", "worker":
+		if *peers != "" {
+			return fmt.Errorf("-peers is only meaningful with -role coordinator")
+		}
+	case "coordinator":
+		if *peers == "" {
+			return fmt.Errorf("-role coordinator requires -peers")
+		}
+		if *storeDir != "" {
+			return fmt.Errorf("-store-dir is a worker/standalone setting; the coordinator holds no results (each key's owner does)")
+		}
+	default:
+		return fmt.Errorf("-role must be standalone, worker or coordinator, got %q", *role)
+	}
+	limits := service.Limits{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheBytes:   *cacheBytes,
+		Timeout:      *timeout,
+		MaxDuration:  *maxDuration,
+		StoreDir:     *storeDir,
+		StoreBytes:   *storeBytes,
+		JobWorkers:   *jobsWorkers,
+		JobQueue:     *jobsQueue,
+		JobRetention: *jobsKeep,
+	}
+	if err := limits.Validate(); err != nil {
+		return fmt.Errorf("invalid limits:\n%w", err)
+	}
+	limits.LogSummary(logger, *role)
+
 	reg := obs.NewRegistry()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeBytes, Obs: reg})
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		logger.Info("store opened",
+			slog.String("dir", *storeDir),
+			slog.Int("entries", st.Len()),
+			slog.Int64("bytes", st.SizeBytes()),
+		)
+	}
+	var fleet *service.Fleet
+	if *role == "coordinator" {
+		var err error
+		fleet, err = service.NewFleet(service.FleetConfig{
+			Peers:  strings.Split(*peers, ","),
+			Obs:    reg,
+			Logger: logger,
+		})
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return err
+		}
+	}
 	svc := service.New(service.Config{
 		Workers:     *workers,
 		QueueDepth:  *queue,
@@ -122,6 +220,14 @@ func run(argv []string, stdout, stderr *os.File) error {
 		Tracer:      tracer,
 		Logger:      logger,
 		EnablePprof: *pprofOn,
+		Store:       st,
+		Fleet:       fleet,
+		Jobs: service.JobsLimits{
+			Workers:    *jobsWorkers,
+			QueueDepth: *jobsQueue,
+			Retention:  *jobsKeep,
+			Disable:    *noJobs,
+		},
 		Stream: service.StreamLimits{
 			MaxFrameHz:         *streamHz,
 			MaxSessionDuration: *streamSess,

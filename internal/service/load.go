@@ -41,7 +41,9 @@ type LoadReport struct {
 	Hits      int64
 	Misses    int64
 	Coalesced int64
-	Elapsed   time.Duration
+	// Stores counts responses served from the persistent store tier.
+	Stores  int64
+	Elapsed time.Duration
 	// Throughput is completed (non-error) requests per second.
 	Throughput float64
 	// Latency is the client-observed request latency distribution.
@@ -86,6 +88,7 @@ func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*L
 		hitCtr    = reg.Counter("load.cache_hits")
 		missCtr   = reg.Counter("load.cache_misses")
 		coalCtr   = reg.Counter("load.coalesced")
+		storeCtr  = reg.Counter("load.store_hits")
 		next      atomic.Int64
 		firstErr  error
 		errOnce   sync.Once
@@ -137,6 +140,8 @@ func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*L
 						missCtr.Inc()
 					case "coalesced":
 						coalCtr.Inc()
+					case "store":
+						storeCtr.Inc()
 					}
 				}
 			}
@@ -152,6 +157,7 @@ func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*L
 		Hits:         hitCtr.Value(),
 		Misses:       missCtr.Value(),
 		Coalesced:    coalCtr.Value(),
+		Stores:       storeCtr.Value(),
 		Elapsed:      elapsed,
 		Latency:      latNS.Summary(),
 		QueueWaitP95: scrapeQueueWaitP95(ctx, c),
@@ -172,7 +178,7 @@ func RunLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*L
 func (r *LoadReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "requests    %d (ok %d, errors %d, queue-full %d)\n",
 		r.Requests, r.Requests-r.Errors-r.QueueFull, r.Errors, r.QueueFull)
-	fmt.Fprintf(w, "cache       hit %d / miss %d / coalesced %d\n", r.Hits, r.Misses, r.Coalesced)
+	fmt.Fprintf(w, "cache       hit %d / miss %d / coalesced %d / store %d\n", r.Hits, r.Misses, r.Coalesced, r.Stores)
 	fmt.Fprintf(w, "elapsed     %.2f s\n", r.Elapsed.Seconds())
 	fmt.Fprintf(w, "throughput  %.1f req/s\n", r.Throughput)
 	fmt.Fprintf(w, "latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (mean %.2f ms, n=%d)\n",

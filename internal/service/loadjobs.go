@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adassure/internal/jobs"
+	"adassure/internal/obs"
+)
+
+// RunJobLoad drives the server through the async job API: each logical
+// request is one submit → wait → fetch-result cycle, with
+// opts.Concurrency cycles in flight. The report's latency is the full
+// submit-to-terminal wall time per job, and the cache split comes from
+// each job's result disposition — directly comparable to a RunLoad
+// report over the same request mix.
+func RunJobLoad(ctx context.Context, c *Client, base Request, opts LoadOptions) (*LoadReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		latNS     = reg.Histogram("load.job_ns")
+		okCtr     = reg.Counter("load.ok")
+		errCtr    = reg.Counter("load.errors")
+		fullCtr   = reg.Counter("load.queue_full")
+		hitCtr    = reg.Counter("load.cache_hits")
+		missCtr   = reg.Counter("load.cache_misses")
+		coalCtr   = reg.Counter("load.coalesced")
+		storeCtr  = reg.Counter("load.store_hits")
+		next      atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		completed atomic.Int64
+	)
+	fail := func(err error) {
+		errCtr.Inc()
+		errOnce.Do(func() { firstErr = err })
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Requests) || ctx.Err() != nil {
+					return
+				}
+				req := base
+				if opts.SpreadSeeds > 0 {
+					if req.Seed == 0 {
+						req.Seed = 1
+					}
+					req.Seed += i % int64(opts.SpreadSeeds)
+				}
+				t0 := time.Now()
+				snap, err := c.SubmitJob(ctx, req)
+				var qf *QueueFullError
+				if errors.As(err, &qf) {
+					completed.Add(1)
+					fullCtr.Inc()
+					if opts.Backoff {
+						select {
+						case <-time.After(qf.RetryAfter):
+						case <-ctx.Done():
+							return
+						}
+					}
+					continue
+				}
+				if err != nil {
+					completed.Add(1)
+					fail(err)
+					continue
+				}
+				final, err := c.WaitJob(ctx, snap.ID)
+				latNS.Observe(time.Since(t0).Nanoseconds())
+				completed.Add(1)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if final.State != jobs.StateDone {
+					fail(fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+					continue
+				}
+				okCtr.Inc()
+				switch final.Cache {
+				case "hit":
+					hitCtr.Inc()
+				case "miss":
+					missCtr.Inc()
+				case "coalesced":
+					coalCtr.Inc()
+				case "store":
+					storeCtr.Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:     completed.Load(),
+		Errors:       errCtr.Value(),
+		QueueFull:    fullCtr.Value(),
+		Hits:         hitCtr.Value(),
+		Misses:       missCtr.Value(),
+		Coalesced:    coalCtr.Value(),
+		Stores:       storeCtr.Value(),
+		Elapsed:      elapsed,
+		Latency:      latNS.Summary(),
+		QueueWaitP95: scrapeQueueWaitP95(ctx, c),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(okCtr.Value()) / secs
+	}
+	if rep.Requests > 0 && rep.Errors == rep.Requests {
+		return rep, fmt.Errorf("service: job load run failed entirely: %w", firstErr)
+	}
+	return rep, nil
+}

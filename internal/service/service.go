@@ -16,10 +16,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/run            execute (or serve from cache) one scenario
-//	POST /v1/stream         online monitoring: NDJSON frames in, NDJSON events out
-//	POST /v1/mutate         execute (or serve from cache) one mutation campaign
-//	GET  /v1/catalog        enumerate tracks, controllers, attacks, assertions, mutants
+//	POST   /v1/run               execute (or serve from cache) one scenario
+//	POST   /v1/stream            online monitoring: NDJSON frames in, NDJSON events out
+//	POST   /v1/mutate            execute (or serve from cache) one mutation campaign
+//	POST   /v1/jobs              submit one scenario asynchronously → job id
+//	GET    /v1/jobs/{id}         poll a job's lifecycle state
+//	GET    /v1/jobs/{id}/result  fetch a finished job's bytes (identical to /v1/run)
+//	GET    /v1/jobs/{id}/events  NDJSON job progress stream (follows until terminal)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/catalog           enumerate tracks, controllers, attacks, assertions, mutants
 //	GET  /healthz           liveness only (process up and answering)
 //	GET  /readyz            readiness: queue saturation + drain state (503 while draining)
 //	GET  /metrics           Prometheus/OpenMetrics text exposition of the obs registry
@@ -55,8 +60,10 @@ import (
 	"time"
 
 	"adassure"
+	"adassure/internal/jobs"
 	"adassure/internal/obs"
 	"adassure/internal/runner"
+	"adassure/internal/store"
 	"adassure/internal/telemetry"
 )
 
@@ -92,6 +99,19 @@ type Config struct {
 	EnablePprof bool
 	// Stream bounds /v1/stream sessions (zero value = defaults).
 	Stream StreamLimits
+	// Store, when non-nil, is the persistent result store backing the
+	// in-memory LRU: cache misses fall through to it before simulating,
+	// and every fresh result is appended to it, so cached evidence
+	// survives restarts. The server owns Close-ing it.
+	Store *store.Store
+	// Jobs tunes the async job tier (zero value = defaults; Disable turns
+	// the /v1/jobs endpoints off).
+	Jobs JobsLimits
+	// Fleet, when non-nil, puts the server in coordinator mode: every
+	// keyed request (sync /v1/run and async jobs alike) is forwarded to
+	// its consistent-hash owner on the worker ring instead of executing
+	// locally. The server owns Close-ing it.
+	Fleet *Fleet
 	// Tracer, when non-nil, records a span tree per request and serves it
 	// under /debug/traces. Nil disables tracing: every span operation is a
 	// single-branch no-op and /debug/traces answers an empty list.
@@ -132,6 +152,9 @@ type Server struct {
 	pool   *runner.Pool
 	cache  *resultCache
 	flight *flightGroup
+	store  *store.Store
+	jobs   *jobs.Manager
+	fleet  *Fleet
 	mux    *http.ServeMux
 
 	tracer *telemetry.Tracer
@@ -185,17 +208,37 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.streamCtx, s.cancelStreams = context.WithCancel(context.Background())
+	s.store = cfg.Store
+	s.fleet = cfg.Fleet
 	s.pool = runner.NewPool(runner.PoolOptions{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
 		Obs:        cfg.Obs,
 		Logger:     cfg.Logger,
 	})
+	if !cfg.Jobs.Disable {
+		s.jobs = jobs.NewManager(jobs.Config{
+			Workers:    cfg.Jobs.Workers,
+			QueueDepth: cfg.Jobs.QueueDepth,
+			Retention:  cfg.Jobs.Retention,
+			Exec:       s.execJob,
+			Retryable:  jobRetryable,
+			Obs:        cfg.Obs,
+			Logger:     cfg.Logger,
+		})
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.traced("/v1/run", s.handleRun))
 	mux.HandleFunc("POST /v1/stream", s.traced("/v1/stream", s.handleStream))
 	mux.HandleFunc("POST /v1/mutate", s.traced("/v1/mutate", s.handleMutate))
+	if s.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.traced("/v1/jobs", s.handleJobSubmit))
+		mux.HandleFunc("GET /v1/jobs/{id}", s.traced("/v1/jobs/{id}", s.handleJobGet))
+		mux.HandleFunc("GET /v1/jobs/{id}/result", s.traced("/v1/jobs/{id}/result", s.handleJobResult))
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.traced("/v1/jobs/{id}/events", s.handleJobEvents))
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.traced("/v1/jobs/{id}", s.handleJobCancel))
+	}
 	mux.HandleFunc("GET /v1/catalog", s.traced("/v1/catalog", s.handleCatalog))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -246,21 +289,39 @@ func (s *Server) BeginDrain() {
 func (s *Server) Close(ctx context.Context) error {
 	s.closed.Store(true)
 	s.cancelStreams()
+	var jobsErr error
+	if s.jobs != nil {
+		// Drain the job tier first: its dispatchers feed the pool, so they
+		// must stop submitting before the pool itself drains.
+		jobsErr = s.jobs.Close(ctx)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.pool.Close()
 		s.streamWG.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.cancelBase()
-		return nil
 	case <-ctx.Done():
 		s.cancelBase() // force: abort in-flight simulations
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = jobsErr
+	}
+	return err
 }
 
 // maxBodyBytes bounds a request document; canonical requests are a few
@@ -305,18 +366,56 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canon.Key()
 
+	body, status, disposition, worker, err := s.runKeyed(r.Context(), sp, canon, key)
+	if err != nil {
+		// The client went away; the run (if any) continues and will fill
+		// the cache for the next asker.
+		return
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	if status == http.StatusOK && disposition != "" {
+		w.Header().Set(CacheHeader, disposition)
+	}
+	if worker != "" {
+		w.Header().Set(WorkerHeader, worker)
+	}
+	writeJSON(w, status, body)
+}
+
+// runKeyed is the execution core shared by the synchronous /v1/run
+// handler and the async job tier: serve from the in-memory cache, fall
+// through to the persistent store, else coalesce on the single-flight
+// group and execute on the pool. In coordinator mode the whole path is
+// replaced by forwarding over the worker ring (no coordinator-side
+// cache: the key's owner holds the warm copy, and caching here would
+// defeat the routing). It blocks until a body is available or ctx is
+// done (the only case that returns a non-nil error — the run, if one
+// started, continues and fills the cache for the next asker). worker is
+// non-empty only in coordinator mode.
+func (s *Server) runKeyed(ctx context.Context, sp *telemetry.Span, canon Request, key string) (body []byte, status int, disposition, worker string, err error) {
+	if s.fleet != nil {
+		return s.fleet.forward(ctx, sp, canon, key)
+	}
 	lookup := sp.StartChild("cache.lookup")
-	body, ok := s.cache.get(key)
-	if ok {
+	if body, ok := s.cache.get(key); ok {
 		lookup.SetAttr("disposition", "hit")
 		lookup.End()
-		w.Header().Set(CacheHeader, "hit")
-		writeJSON(w, http.StatusOK, body)
-		return
+		return body, http.StatusOK, "hit", "", nil
+	}
+	// The store tier: evidence computed before the last restart (or by a
+	// previous process on this box) is served without re-simulating, and
+	// promoted back into the LRU for the next asker.
+	if body, ok := s.storeGet(key); ok {
+		s.cache.put(key, body)
+		lookup.SetAttr("disposition", "store")
+		lookup.End()
+		return body, http.StatusOK, "store", "", nil
 	}
 
 	call, leader := s.flight.join(key)
-	disposition := "coalesced"
+	disposition = "coalesced"
 	var wait *telemetry.Span
 	if leader {
 		disposition = "miss"
@@ -357,24 +456,30 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case <-call.done:
-	case <-r.Context().Done():
-		// The client went away; the run (if any) continues and will fill
-		// the cache for the next asker.
+	case <-ctx.Done():
 		if !leader {
 			wait.End()
 		}
-		return
+		return nil, 0, disposition, "", ctx.Err()
 	}
 	if !leader {
 		wait.End()
 	}
-	if call.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	return call.body, call.status, disposition, "", nil
+}
+
+// storeGet reads one key from the persistent store, degrading a damaged
+// record to a miss (the evidence is recomputed and re-appended).
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
 	}
-	if call.status == http.StatusOK {
-		w.Header().Set(CacheHeader, disposition)
+	body, ok, err := s.store.Get(key)
+	if err != nil {
+		s.log.Warn("store read failed", slog.String("key", key), slog.String("error", err.Error()))
+		return nil, false
 	}
-	writeJSON(w, call.status, call.body)
+	return body, ok
 }
 
 // submit hands the run to the pool. On success the pool job owns the
@@ -444,6 +549,13 @@ func (s *Server) execute(ctx context.Context, key string, req Request, call *fli
 	// a request arriving in between either joins the call or hits the
 	// cache — never starts a duplicate simulation.
 	s.cache.put(key, body)
+	if s.store != nil {
+		// Persist after the in-memory publish: a store append failure
+		// (disk full, permissions) degrades durability, never the answer.
+		if err := s.store.Put(key, body); err != nil {
+			s.log.Warn("store append failed", slog.String("key", key), slog.String("error", err.Error()))
+		}
+	}
 	s.flight.forget(key)
 	call.finish(body, http.StatusOK, nil)
 }
@@ -468,6 +580,7 @@ var routeMethods = map[string]string{
 	"/v1/run":          "POST",
 	"/v1/stream":       "POST",
 	"/v1/mutate":       "POST",
+	"/v1/jobs":         "POST",
 	"/v1/catalog":      "GET",
 	"/healthz":         "GET",
 	"/readyz":          "GET",
@@ -507,7 +620,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is the traffic-steering probe: 503 once BeginDrain or
 // Close has been called, or while the admission queue is saturated (a new
 // run would be shed with 429 anyway). The body always reports the reason
-// and queue occupancy.
+// and occupancy — simulation queue and async job queue — so load
+// balancers and the fleet coordinator steer off the same signal.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	qlen, qcap := s.pool.QueueLen(), s.pool.Cap()
 	status, code := "ready", http.StatusOK
@@ -517,11 +631,30 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	case qlen >= qcap:
 		status, code = "saturated", http.StatusServiceUnavailable
 	}
-	b, _ := json.Marshal(map[string]any{
+	doc := map[string]any{
 		"status":    status,
 		"queue_len": qlen,
 		"queue_cap": qcap,
-	})
+	}
+	if s.jobs != nil {
+		doc["jobs_queued"] = s.jobs.QueueLen()
+		doc["jobs_cap"] = s.jobs.QueueCap()
+		doc["jobs_running"] = s.jobs.Running()
+	}
+	if s.store != nil {
+		doc["store_entries"] = s.store.Len()
+		doc["store_bytes"] = s.store.SizeBytes()
+	}
+	if s.fleet != nil {
+		workers, healthy := s.fleet.membership()
+		doc["workers"] = workers
+		doc["workers_healthy"] = healthy
+		if healthy == 0 && code == http.StatusOK {
+			status, code = "no-workers", http.StatusServiceUnavailable
+			doc["status"] = status
+		}
+	}
+	b, _ := json.Marshal(doc)
 	writeJSON(w, code, b)
 }
 

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"adassure/internal/obs"
+)
+
+// CheckerOptions tunes a health Checker.
+type CheckerOptions struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout per probe (default 2s).
+	Timeout time.Duration
+	// FailThreshold is the consecutive probe failures before a node is
+	// marked unhealthy (default 2). One success marks it healthy again.
+	FailThreshold int
+	// Probe overrides the default HTTP GET /readyz probe (tests). It
+	// reports whether the node is ready.
+	Probe func(ctx context.Context, n *Node) bool
+	// Obs receives the shard.health{worker} gauge (1 healthy, 0 not) and
+	// the shard.probe_failures{worker} counter. Nil-safe.
+	Obs *obs.Registry
+	// Logger receives one record per health transition. Nil discards.
+	Logger *slog.Logger
+}
+
+func (o *CheckerOptions) defaults() {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// Checker actively probes ring members' /readyz and maintains their
+// health bits. It is the single writer of fails; the coordinator may
+// additionally flip a node down passively on transport errors.
+type Checker struct {
+	ring *Ring
+	opts CheckerOptions
+
+	client *http.Client
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewChecker builds a checker over ring.
+func NewChecker(ring *Ring, opts CheckerOptions) *Checker {
+	opts.defaults()
+	c := &Checker{
+		ring:   ring,
+		opts:   opts,
+		client: &http.Client{Timeout: opts.Timeout},
+		stop:   make(chan struct{}),
+	}
+	if c.opts.Probe == nil {
+		c.opts.Probe = c.httpProbe
+	}
+	return c
+}
+
+// httpProbe is the default probe: GET {url}/readyz, ready on 200.
+func (c *Checker) httpProbe(ctx context.Context, n *Node) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	res, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	res.Body.Close()
+	return res.StatusCode == http.StatusOK
+}
+
+// Start launches the probe loop. Call Stop to end it.
+func (c *Checker) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.opts.Interval)
+		defer ticker.Stop()
+		c.ProbeOnce() // settle initial health before the first tick
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				c.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// ProbeOnce runs one probe round over the current membership. Exposed so
+// tests (and the coordinator at boot) can drive rounds deterministically.
+func (c *Checker) ProbeOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range c.ring.Nodes() {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			ok := c.opts.Probe(ctx, n)
+			c.apply(n, ok)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// apply folds one probe result into the node's health state.
+func (c *Checker) apply(n *Node, ok bool) {
+	healthGau := c.opts.Obs.GaugeL("shard.health", "worker", n.Name)
+	if ok {
+		n.fails.Store(0)
+		if !n.healthy.Swap(true) {
+			c.opts.Logger.Info("worker recovered", slog.String("worker", n.Name), slog.String("url", n.URL))
+		}
+		healthGau.Set(1)
+		return
+	}
+	c.opts.Obs.CounterL("shard.probe_failures", "worker", n.Name).Inc()
+	if n.fails.Add(1) >= int64(c.opts.FailThreshold) {
+		if n.healthy.Swap(false) {
+			c.opts.Logger.Warn("worker unhealthy", slog.String("worker", n.Name), slog.String("url", n.URL))
+		}
+		healthGau.Set(0)
+	}
+}
+
+// Stop ends the probe loop and waits for it.
+func (c *Checker) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}

@@ -1,0 +1,254 @@
+// Package shard routes content-addressed cache keys across a fleet of
+// backend workers by consistent hashing with bounded loads, and tracks
+// worker health so the coordinator can fail over when a worker is lost.
+//
+// The ring places Replicas virtual nodes per worker on a 64-bit hash
+// circle. A key hashes to a point on the circle and walks clockwise; the
+// first distinct workers encountered form its preference order, so two
+// coordinators with the same membership route identically, and removing
+// one worker only remaps the keys that worker owned (the consistent-
+// hashing property that keeps a worker's warm cache and persistent store
+// useful across fleet changes — the rebalancing invariant documented in
+// DESIGN.md §16).
+//
+// Bounded load (the "consistent hashing with bounded loads" refinement):
+// a worker whose in-flight count exceeds LoadFactor × the fleet-average
+// load is skipped in the first pass, spilling hot keys to the next
+// replica instead of hot-spotting one box. Skipped workers still appear
+// later in the preference order, so a spill is a reroute, not a drop.
+//
+// Health: each node carries a health bit maintained by a Checker probing
+// GET /readyz (active) and flipped down by the coordinator on transport
+// failures (passive). Unhealthy nodes sort after healthy ones in every
+// preference order but are never removed from the ring — their key
+// ranges return the moment they recover.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Node is one backend worker on the ring.
+type Node struct {
+	// Name is the stable ring identity (hash input) of the worker.
+	Name string
+	// URL is the worker's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	fails    atomic.Int64
+}
+
+// Healthy reports the node's current health bit.
+func (n *Node) Healthy() bool { return n.healthy.Load() }
+
+// SetHealthy flips the node's health bit (Checker and coordinator).
+func (n *Node) SetHealthy(ok bool) { n.healthy.Store(ok) }
+
+// Inflight reports the node's current in-flight request count.
+func (n *Node) Inflight() int64 { return n.inflight.Load() }
+
+// Begin marks one request in flight on the node.
+func (n *Node) Begin() { n.inflight.Add(1) }
+
+// Done marks one request finished on the node.
+func (n *Node) Done() { n.inflight.Add(-1) }
+
+// Fails reports consecutive probe failures (Checker bookkeeping).
+func (n *Node) Fails() int64 { return n.fails.Load() }
+
+// Options tunes a Ring.
+type Options struct {
+	// Replicas is the virtual-node count per worker (default 128). More
+	// replicas smooth the key distribution at the cost of a larger table.
+	Replicas int
+	// LoadFactor is the bounded-load factor c ≥ 1 (default 1.25): a node
+	// is skipped in the first pass when its in-flight count exceeds
+	// ceil(c × average in-flight across healthy nodes).
+	LoadFactor float64
+}
+
+func (o *Options) defaults() {
+	if o.Replicas <= 0 {
+		o.Replicas = 128
+	}
+	if o.LoadFactor < 1 {
+		o.LoadFactor = 1.25
+	}
+}
+
+// vnode is one point on the hash circle.
+type vnode struct {
+	hash uint64
+	node *Node
+}
+
+// Ring is the consistent-hash routing table. Membership changes take a
+// write lock; lookups take a read lock and are allocation-light.
+type Ring struct {
+	opts Options
+
+	mu     sync.RWMutex
+	vnodes []vnode // sorted by hash
+	nodes  map[string]*Node
+}
+
+// NewRing builds an empty ring.
+func NewRing(opts Options) *Ring {
+	opts.defaults()
+	return &Ring{opts: opts, nodes: map[string]*Node{}}
+}
+
+// hash64 is the ring's hash: FNV-1a over the input bytes, finished
+// through a splitmix64 mixer. FNV alone clusters on the similar
+// "name#i" vnode labels; the finalizer disperses them over the full
+// circle. The function must stay deterministic across processes — every
+// coordinator with the same membership must route identically.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add places a worker (Replicas virtual nodes) on the ring. The node
+// starts healthy. Adding an existing name returns the existing node.
+func (r *Ring) Add(name, url string) *Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[name]; ok {
+		return n
+	}
+	n := &Node{Name: name, URL: url}
+	n.healthy.Store(true)
+	r.nodes[name] = n
+	for i := 0; i < r.opts.Replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", name, i)), node: n})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return n
+}
+
+// Remove takes a worker off the ring entirely (vs. marking unhealthy,
+// which keeps its key ranges reserved for recovery).
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[name]
+	if !ok {
+		return
+	}
+	delete(r.nodes, name)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != n {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+}
+
+// Nodes returns the members sorted by name.
+func (r *Ring) Nodes() []*Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner returns the key's primary worker by pure ring position,
+// ignoring health and load — the stable "home" of the key that decides
+// which worker's store accumulates it.
+func (r *Ring) Owner(key string) *Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	return r.vnodes[r.search(hash64(key))].node
+}
+
+// search returns the index of the first vnode at or clockwise of h.
+// Caller holds a lock.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Pick returns the key's failover preference order: up to max distinct
+// workers, walking clockwise from the key's ring position. Healthy
+// workers within the load bound come first (in ring order), then
+// healthy-but-overloaded ones, then unhealthy ones as a last resort —
+// so the caller can simply try candidates in order. max ≤ 0 means all
+// members. An empty ring returns nil.
+func (r *Ring) Pick(key string, max int) []*Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := len(r.nodes)
+	if total == 0 {
+		return nil
+	}
+	if max <= 0 || max > total {
+		max = total
+	}
+
+	// Bounded-load threshold over healthy members: ceil(c × (inflight+1) / healthy).
+	var healthyCount, inflight int64
+	for _, n := range r.nodes {
+		if n.Healthy() {
+			healthyCount++
+			inflight += n.Inflight()
+		}
+	}
+	bound := int64(1 << 62)
+	if healthyCount > 0 {
+		bound = int64(r.opts.LoadFactor*float64(inflight+1)/float64(healthyCount)) + 1
+	}
+
+	// Walk the circle once, collecting distinct nodes in ring order into
+	// three preference tiers.
+	var fit, loaded, down []*Node
+	seen := make(map[*Node]struct{}, total)
+	start := r.search(hash64(key))
+	for i := 0; i < len(r.vnodes) && len(seen) < total; i++ {
+		n := r.vnodes[(start+i)%len(r.vnodes)].node
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		switch {
+		case !n.Healthy():
+			down = append(down, n)
+		case n.Inflight() > bound:
+			loaded = append(loaded, n)
+		default:
+			fit = append(fit, n)
+		}
+	}
+	order := append(append(fit, loaded...), down...)
+	if len(order) > max {
+		order = order[:max]
+	}
+	return order
+}

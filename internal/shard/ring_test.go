@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"adassure/internal/obs"
+)
+
+func ringWith(t *testing.T, names ...string) *Ring {
+	t.Helper()
+	r := NewRing(Options{})
+	for _, n := range names {
+		r.Add(n, "http://"+n)
+	}
+	return r
+}
+
+func TestPickDeterministicAndDistinct(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("%064d", i)
+		a := r.Pick(key, 0)
+		b := r.Pick(key, 0)
+		if len(a) != 3 {
+			t.Fatalf("Pick returned %d nodes, want 3", len(a))
+		}
+		seen := map[string]bool{}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("Pick not deterministic for %s", key)
+			}
+			if seen[a[j].Name] {
+				t.Fatalf("duplicate node %s in preference order", a[j].Name)
+			}
+			seen[a[j].Name] = true
+		}
+	}
+}
+
+// TestDistributionRoughlyBalanced: with 3 workers and many keys, no
+// worker owns a wildly disproportionate share.
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	counts := map[string]int{}
+	n := 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		share := float64(c) / float64(n)
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("worker %s owns %.0f%% of keys — ring badly unbalanced (%v)", name, share*100, counts)
+		}
+	}
+}
+
+// TestConsistencyUnderMembershipChange: removing one worker must remap
+// only the keys that worker owned.
+func TestConsistencyUnderMembershipChange(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	before := map[string]string{}
+	n := 2000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k).Name
+	}
+	r.Remove("w2")
+	moved := 0
+	for k, owner := range before {
+		now := r.Owner(k).Name
+		if owner == "w2" {
+			if now == "w2" {
+				t.Fatalf("key %s still owned by removed worker", k)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed worker were remapped — consistency violated", moved)
+	}
+}
+
+// TestUnhealthySortsLast: a down primary yields its keys to the next
+// replica but stays in the preference order as last resort.
+func TestUnhealthySortsLast(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	key := "some-content-address"
+	order := r.Pick(key, 0)
+	primary := order[0]
+	primary.SetHealthy(false)
+	after := r.Pick(key, 0)
+	if after[0] == primary {
+		t.Fatal("unhealthy primary still first in preference order")
+	}
+	if after[len(after)-1] != primary {
+		t.Fatalf("unhealthy primary not last: %v", names(after))
+	}
+	// Recovery restores the original order.
+	primary.SetHealthy(true)
+	restored := r.Pick(key, 0)
+	if restored[0] != primary {
+		t.Fatal("recovered primary did not take its keys back")
+	}
+}
+
+// TestBoundedLoadSpills: a primary far above the fleet-average load is
+// demoted behind in-bound nodes.
+func TestBoundedLoadSpills(t *testing.T) {
+	r := ringWith(t, "w1", "w2", "w3")
+	key := "hot-key"
+	primary := r.Pick(key, 0)[0]
+	for i := 0; i < 100; i++ {
+		primary.Begin()
+	}
+	order := r.Pick(key, 0)
+	if order[0] == primary {
+		t.Fatal("overloaded primary still first — bounded load not applied")
+	}
+	if !order[0].Healthy() {
+		t.Fatal("spill target unhealthy")
+	}
+	for i := 0; i < 100; i++ {
+		primary.Done()
+	}
+	if r.Pick(key, 0)[0] != primary {
+		t.Fatal("drained primary did not take its keys back")
+	}
+}
+
+func TestPickMaxAndEmptyRing(t *testing.T) {
+	if got := NewRing(Options{}).Pick("k", 0); got != nil {
+		t.Fatalf("empty ring Pick = %v", got)
+	}
+	r := ringWith(t, "w1", "w2", "w3")
+	if got := r.Pick("k", 2); len(got) != 2 {
+		t.Fatalf("Pick(max=2) returned %d", len(got))
+	}
+	if got := r.Pick("k", 99); len(got) != 3 {
+		t.Fatalf("Pick(max=99) returned %d", len(got))
+	}
+}
+
+func TestAddExistingReturnsSameNode(t *testing.T) {
+	r := NewRing(Options{})
+	a := r.Add("w1", "http://a")
+	b := r.Add("w1", "http://b")
+	if a != b {
+		t.Fatal("re-adding a name created a second node")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// TestCheckerTransitions drives probe rounds with a scripted probe and
+// watches the health bit honour the fail threshold.
+func TestCheckerTransitions(t *testing.T) {
+	r := ringWith(t, "w1")
+	node := r.Nodes()[0]
+	up := true
+	reg := obs.NewRegistry()
+	c := NewChecker(r, CheckerOptions{
+		Interval:      time.Hour, // rounds driven manually
+		FailThreshold: 2,
+		Obs:           reg,
+		Probe:         func(ctx context.Context, n *Node) bool { return up },
+	})
+
+	c.ProbeOnce()
+	if !node.Healthy() {
+		t.Fatal("healthy probe left node down")
+	}
+	// One failure is below threshold; the second flips the bit.
+	up = false
+	c.ProbeOnce()
+	if !node.Healthy() {
+		t.Fatal("single failure flipped health below threshold")
+	}
+	c.ProbeOnce()
+	if node.Healthy() {
+		t.Fatal("node healthy after reaching fail threshold")
+	}
+	if reg.CounterL("shard.probe_failures", "worker", "w1").Value() != 2 {
+		t.Fatal("probe failures not counted")
+	}
+	// One success recovers immediately.
+	up = true
+	c.ProbeOnce()
+	if !node.Healthy() {
+		t.Fatal("node not recovered after successful probe")
+	}
+}
+
+func TestCheckerStartStop(t *testing.T) {
+	r := ringWith(t, "w1")
+	calls := make(chan struct{}, 64)
+	c := NewChecker(r, CheckerOptions{
+		Interval: time.Millisecond,
+		Probe: func(ctx context.Context, n *Node) bool {
+			select {
+			case calls <- struct{}{}:
+			default:
+			}
+			return true
+		},
+	})
+	c.Start()
+	select {
+	case <-calls:
+	case <-time.After(2 * time.Second):
+		t.Fatal("checker never probed")
+	}
+	c.Stop() // must return promptly and not panic
+}

@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"adassure/internal/obs"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func key(i int) string { return fmt.Sprintf("%064d", i) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	body := []byte(`{"violations":[1,2,3]}`)
+	if err := s.Put(key(1), body); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := s.Get(key(1))
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body mismatch: got %q want %q", got, body)
+	}
+	if _, ok, _ := s.Get(key(2)); ok {
+		t.Fatal("Get of absent key reported ok")
+	}
+	// Re-put repoints to the newest body.
+	body2 := []byte("updated")
+	if err := s.Put(key(1), body2); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	got, _, _ = s.Get(key(1))
+	if !bytes.Equal(got, body2) {
+		t.Fatalf("after re-put got %q want %q", got, body2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestReopenServesCommittedRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		body := bytes.Repeat([]byte{byte('a' + i%26)}, 100+i)
+		want[key(i)] = body
+		if err := s.Put(key(i), body); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	for k, body := range want {
+		got, ok, err := s2.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after reopen: ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("Get(%s) after reopen: body mismatch", k)
+		}
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("Len after reopen = %d, want %d", s2.Len(), len(want))
+	}
+}
+
+// TestCrashRecoveryTruncatesTornTail simulates a crash mid-append: the
+// final segment ends in a partial record. Reopening must truncate the
+// torn tail, serve every committed record, and append cleanly afterwards.
+func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(i), bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	s.Close()
+
+	seg := filepath.Join(dir, "00000001.seg")
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Kill mid-append": a fresh record's first half reaches the disk.
+	torn := appendFrame(key(99), bytes.Repeat([]byte{0xEE}, 300))
+	if err := os.WriteFile(seg, append(append([]byte{}, full...), torn[:len(torn)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s2 := mustOpen(t, dir, Options{Obs: reg})
+	if got := reg.Counter("store.recovered_tails").Value(); got != 1 {
+		t.Fatalf("recovered_tails = %d, want 1", got)
+	}
+	// The torn record is gone; every committed record is CRC-verified back.
+	if _, ok, _ := s2.Get(key(99)); ok {
+		t.Fatal("torn record served after recovery")
+	}
+	for i := 0; i < 10; i++ {
+		got, ok, err := s2.Get(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) after recovery: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 200)) {
+			t.Fatalf("Get(%d) after recovery: body mismatch", i)
+		}
+	}
+	// The file ends exactly on the last committed record.
+	if info, _ := os.Stat(seg); info.Size() != int64(len(full)) {
+		t.Fatalf("segment size after recovery = %d, want %d", info.Size(), len(full))
+	}
+	// Appends resume on the committed boundary.
+	if err := s2.Put(key(100), []byte("fresh")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	got, ok, err := s2.Get(key(100))
+	if err != nil || !ok || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("Get after post-recovery put: %q ok=%v err=%v", got, ok, err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{})
+	if got, ok, _ := s3.Get(key(100)); !ok || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatal("post-recovery append lost on second reopen")
+	}
+}
+
+// TestCorruptRecordDetectedOnGet flips a committed body byte on disk and
+// expects Get to refuse the record with a CorruptError instead of
+// serving damaged evidence.
+func TestCorruptRecordDetectedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key(1), bytes.Repeat([]byte{0x42}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+64+10] ^= 0xFF // flip one body byte
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := s.Get(key(1))
+	var ce *CorruptError
+	if ok || !errors.As(err, &ce) {
+		t.Fatalf("Get on corrupt record: ok=%v err=%v, want CorruptError", ok, err)
+	}
+	// The damaged entry is dropped: the next get is a clean miss.
+	if _, ok, err := s.Get(key(1)); ok || err != nil {
+		t.Fatalf("second Get after corruption: ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+// TestEvictionHonoursByteCap fills the store past its cap and asserts
+// oldest segments are deleted, accounting matches the real files, and
+// the newest records survive.
+func TestEvictionHonoursByteCap(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := mustOpen(t, dir, Options{MaxBytes: 16 << 10, MaxSegmentBytes: 4 << 10, Obs: reg})
+	body := bytes.Repeat([]byte{0xAB}, 900)
+	n := 40
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), body); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if s.SizeBytes() > 16<<10 {
+			t.Fatalf("after put %d store holds %d bytes, cap is %d", i, s.SizeBytes(), 16<<10)
+		}
+	}
+	if reg.Counter("store.evicted_segments").Value() == 0 {
+		t.Fatal("no segments evicted despite cap pressure")
+	}
+	// Accounting parity: the tracked byte total equals the bytes on disk.
+	var diskBytes int64
+	files, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskBytes += info.Size()
+	}
+	if diskBytes != s.SizeBytes() {
+		t.Fatalf("accounting drift: disk %d bytes, tracked %d", diskBytes, s.SizeBytes())
+	}
+	// The newest record always survives, the oldest were evicted.
+	if _, ok, _ := s.Get(key(n - 1)); !ok {
+		t.Fatal("newest record evicted")
+	}
+	if _, ok, _ := s.Get(key(0)); ok {
+		t.Fatal("oldest record survived a full wrap of the cap")
+	}
+}
+
+func TestPutTooLargeRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 1 << 10})
+	err := s.Put(key(1), bytes.Repeat([]byte{1}, 2<<10))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Put oversized: err=%v, want ErrTooLarge", err)
+	}
+}
+
+func TestClosedStoreRefusesWork(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Put(key(1), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get(key(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{NoSync: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(w*50 + i)
+				body := bytes.Repeat([]byte{byte(w)}, 64+i)
+				if err := s.Put(k, body); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, ok, err := s.Get(k)
+				if err != nil || !ok || !bytes.Equal(got, body) {
+					t.Errorf("Get(%s): ok=%v err=%v", k, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+}
+
+// TestReplayIgnoresForeignFiles: non-.seg files in the directory are left
+// alone and do not break Open.
+func TestReplayIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatalf("foreign file disturbed: %v", err)
+	}
+}
