@@ -9,9 +9,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke stream-smoke fleet-smoke
+.PHONY: check vet build test race bench bench-json tables golden golden-update fuzz-smoke stream-smoke fleet-smoke search-smoke
 
-check: vet build race golden stream-smoke fleet-smoke fuzz-smoke
+check: vet build race golden stream-smoke fleet-smoke search-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,13 @@ fleet-smoke:
 	$(GO) test ./internal/shard ./internal/jobs ./internal/store -count=1
 	$(GO) test ./internal/service -run 'TestJob|TestCoordinator|TestStoreTier|TestLimits' -count=1
 
+# Adversarial-search gate: the optimizer property/determinism suite, the
+# S1 frontier-retreat acceptance test and the /v1/search endpoint tests.
+search-smoke:
+	$(GO) test ./internal/search -count=1
+	$(GO) test ./internal/harness -run 'TestSearchFrontierRetreat' -count=1
+	$(GO) test ./internal/service -run 'TestSearch' -count=1
+
 # Run each native fuzz target for $(FUZZTIME) on top of its committed seed
 # corpus — a cheap crash/contract smoke, not a deep campaign.
 fuzz-smoke:
@@ -77,6 +84,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mutate -run '^$$' -fuzz FuzzMutantSpec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzStreamNDJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/search -run '^$$' -fuzz FuzzSearchSpec -fuzztime $(FUZZTIME)
 
 # Regenerate every evaluation table/figure (see EXPERIMENTS.md).
 tables:

@@ -6,7 +6,7 @@
 //   - a deterministic closed-loop driving simulator (vehicle models,
 //     sensors, tracks, localization fusion, four lateral controllers);
 //   - an attack-injection framework over the GNSS/IMU/odometry channels;
-//   - the ADAssure runtime-assertion catalog (A1–A14) with a k-of-n
+//   - the ADAssure runtime-assertion catalog (A1–A15) with a k-of-n
 //     debounced monitor engine and an assertion DSL for custom invariants;
 //   - a root-cause diagnosis engine mapping violation signatures to ranked
 //     hypotheses with rationales;
@@ -46,6 +46,7 @@ import (
 	"adassure/internal/offline"
 	"adassure/internal/report"
 	"adassure/internal/runner"
+	"adassure/internal/search"
 	"adassure/internal/sim"
 	"adassure/internal/stream"
 	"adassure/internal/telemetry"
@@ -188,7 +189,7 @@ func ReadForensicBundle(r io.Reader) (*ForensicBundle, error) { return forensics
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewCatalogMonitor builds a Monitor loaded with the built-in assertion
-// catalog A1–A14.
+// catalog A1–A15.
 func NewCatalogMonitor(cfg CatalogConfig) *Monitor { return core.NewCatalogMonitor(cfg) }
 
 // NewMonitor builds an empty Monitor for custom assertion sets.
@@ -737,6 +738,41 @@ func MutantOps() []string { return mutate.OpNames() }
 
 // ReadMutationReport parses a report written by MutationReport.WriteJSON.
 func ReadMutationReport(r io.Reader) (*MutationReport, error) { return mutate.ReadJSON(r) }
+
+// Adversarial-search types (see internal/search): the black-box optimizer
+// that maps, per track × channel, the minimal attack magnitude that evades
+// the assertion catalog.
+type (
+	// SearchSpec is one attack channel: an operator name plus optional
+	// magnitude range and activation window.
+	SearchSpec = search.Spec
+	// SearchWindow is a half-open [Start, End) activation window in
+	// simulated seconds.
+	SearchWindow = search.Window
+	// SearchConfig describes one adversarial-search campaign.
+	SearchConfig = search.Config
+	// SearchReport is a campaign outcome: the evasion frontier with one
+	// point (and minimality certificate) per track × channel.
+	SearchReport = search.Report
+	// SearchFrontierPoint is one converged frontier point: the largest
+	// undetected magnitude and the smallest detected neighbor above it.
+	SearchFrontierPoint = search.FrontierPoint
+)
+
+// RunSearch executes an adversarial-search campaign: a clean baseline per
+// track, then a deterministic descent (or cross-entropy search) toward the
+// minimal evading attack per channel, with candidate probes fanned across a
+// worker pool. The report is deterministic in the config for any worker
+// count. The zero-value config searches the default monotone channels on
+// urban-loop + hairpin with pure-pursuit at seed 1.
+func RunSearch(cfg SearchConfig) (*SearchReport, error) { return search.Run(cfg) }
+
+// DefaultSearchChannels returns the default search space: the monotone
+// sensor/controller channels over their full registry magnitude ranges.
+func DefaultSearchChannels() []SearchSpec { return search.DefaultChannels() }
+
+// ReadSearchReport parses a report written by SearchReport.WriteJSON.
+func ReadSearchReport(r io.Reader) (*SearchReport, error) { return search.ReadJSON(r) }
 
 // Experiments returns the evaluation experiment registry (T1–T6, F1–F6);
 // each entry regenerates one table or figure of the paper reproduction.

@@ -101,8 +101,8 @@ func TestRunExperimentByID(t *testing.T) {
 	if _, err := RunExperiment("T99", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Experiments()) != 18 {
-		t.Errorf("registry size = %d, want 18", len(Experiments()))
+	if len(Experiments()) != 19 {
+		t.Errorf("registry size = %d, want 19", len(Experiments()))
 	}
 }
 

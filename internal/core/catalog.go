@@ -33,7 +33,7 @@ func (c *CatalogConfig) defaults() {
 // control period.
 func freshGNSS(f Frame) bool { return f.GNSSValid && f.GNSSAge <= f.Dt+1e-9 }
 
-// NewCatalog instantiates the built-in assertions A1–A12 with the given
+// NewCatalog instantiates the built-in assertions A1–A15 with the given
 // configuration, each paired with its default debounce policy.
 func NewCatalog(cfg CatalogConfig) []CatalogEntry {
 	cfg.defaults()
@@ -60,6 +60,7 @@ func NewCatalog(cfg CatalogConfig) []CatalogEntry {
 		{A11Oscillation(lim, k), deb(Debounce{K: 1, N: 1})},
 		{A13HeadingReference(lim, k), deb(Debounce{K: 4, N: 5})},
 		{A14ActuatorResponse(lim, k), deb(Debounce{K: 4, N: 5})},
+		{A15LatticeConsistency(lim, k), deb(Debounce{K: 2, N: 3})},
 	}
 	if cfg.IncludeGroundTruth {
 		entries = append(entries, CatalogEntry{A12SafetyEnvelope(lim, k), deb(Debounce{K: 3, N: 4})})
@@ -468,6 +469,130 @@ func A14ActuatorResponse(lim Limits, k float64) Assertion {
 				Evidence: Ev("ema_residual", ema).And("expected_yaw", expected).And("measured_yaw", f.IMUYawRate).And("tol", tol),
 			}
 		}, func() { ema = 0; filtSteer = 0; has = false })
+}
+
+// A15LatticeConsistency asserts that GNSS fixes do not land on a spatial
+// lattice: the approximate greatest common divisor of the recent position
+// deltas between consecutive fixes must stay below the grid floor. Real
+// receiver noise is continuous, so the folded GCD of genuine fixes
+// collapses toward the tolerance; a quantized feed (a truncated
+// fixed-point conversion upstream) snaps every delta onto exact multiples
+// of the grid pitch, which survives the fold no matter how far below the
+// noise floor the pitch sits. This is the detector for the sub-noise
+// quantization fault that evades every amplitude-based check — a 0.25 m
+// grid is invisible to A1/A10 margins sized for metre-scale spoofs.
+func A15LatticeConsistency(lim Limits, k float64) Assertion {
+	const (
+		window   = 16   // pooled x+y deltas retained
+		minFill  = 12   // deltas required before judging
+		eps      = 1e-6 // Euclid termination / float-fuzz tolerance
+		minStep  = 1e-3 // deltas below this are "no motion on this axis"
+		stallMin = 0.15 // expected axis motion above which a zero delta is a stall
+		maxStall = 6    // stalled-axis observations per window that imply a coarse grid
+	)
+	minGrid := 0.02 * k
+	var buf [window]float64  // recent nonzero per-axis deltas
+	var stalls [window]uint8 // per-fix count of stalled axes (0..2)
+	var n, next int          // delta ring fill / cursor
+	var sn, snext int        // stall ring fill / cursor
+	var px, py, pt float64
+	var has bool
+	return NewAssertion("A15", "gnss-lattice",
+		fmt.Sprintf("GCD of consecutive GNSS position deltas < %.3f m (no quantization lattice)", minGrid), Warning,
+		func(f Frame) Outcome {
+			if !freshGNSS(f) {
+				return Outcome{Skip: true}
+			}
+			tFix := f.T - f.GNSSAge
+			if !has {
+				px, py, pt, has = f.GNSSX, f.GNSSY, tFix, true
+				return Outcome{Skip: true}
+			}
+			dtFix := tFix - pt
+			if dtFix <= 1e-6 {
+				return Outcome{Skip: true} // same fix as last frame
+			}
+			// Expected per-axis travel between fixes, from the fused state:
+			// a near-zero delta despite commanded motion is a stalled axis —
+			// the between-jumps phase of a coarse grid.
+			mx := math.Abs(math.Cos(f.EstHeading)) * f.EstSpeed * dtFix
+			my := math.Abs(math.Sin(f.EstHeading)) * f.EstSpeed * dtFix
+			dx, dy := math.Abs(f.GNSSX-px), math.Abs(f.GNSSY-py)
+			px, py, pt = f.GNSSX, f.GNSSY, tFix
+			var stalled uint8
+			for _, a := range [2]struct{ d, m float64 }{{dx, mx}, {dy, my}} {
+				if a.d < minStep {
+					if a.m > stallMin {
+						stalled++
+					}
+					continue
+				}
+				buf[next] = a.d
+				next = (next + 1) % window
+				if n < window {
+					n++
+				}
+			}
+			stalls[snext] = stalled
+			snext = (snext + 1) % window
+			if sn < window {
+				sn++
+			}
+			if n < minFill {
+				return Outcome{Skip: true}
+			}
+			g := buf[0]
+			for i := 1; i < n; i++ {
+				g = realGCD(g, buf[i], eps)
+			}
+			// A lattice needs corroboration beyond a common divisor: either
+			// two distinct multiples in the window (a stretch of identical
+			// deltas has a large GCD by construction and proves nothing), or
+			// repeated stalled axes (coarse grids step one pitch at a time,
+			// freezing the reported position between boundary crossings).
+			distinct := 0
+			if g > eps {
+				var seen [window]int64
+				for i := 0; i < n; i++ {
+					q := int64(math.Round(buf[i] / g))
+					dup := false
+					for j := 0; j < distinct; j++ {
+						if seen[j] == q {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						seen[distinct] = q
+						distinct++
+					}
+				}
+			}
+			stallSum := 0
+			for i := 0; i < sn; i++ {
+				stallSum += int(stalls[i])
+			}
+			pitch := g
+			if distinct < 2 && stallSum < maxStall {
+				pitch = 0 // degenerate: no lattice evidence
+			}
+			return Outcome{
+				OK:       pitch < minGrid,
+				Margin:   minGrid - pitch,
+				Evidence: Ev("lattice_pitch", pitch).And("gcd", g).And("min_grid", minGrid).And("stalled", float64(stallSum)),
+			}
+		}, func() { n, next, sn, snext, has = 0, 0, 0, 0, false })
+}
+
+// realGCD folds the Euclidean algorithm over positive reals: the result
+// divides both inputs to within eps. For inputs that are exact multiples
+// of a common pitch it returns (a multiple of) that pitch; for
+// incommensurate inputs it collapses toward eps.
+func realGCD(a, b, eps float64) float64 {
+	for b > eps {
+		a, b = b, math.Mod(a, b)
+	}
+	return a
 }
 
 // angleDiff is the angular difference used by heading-consistency checks.

@@ -39,12 +39,12 @@ func TestCatalogCleanStream(t *testing.T) {
 
 func TestCatalogIDsAndSizes(t *testing.T) {
 	entries := NewCatalog(CatalogConfig{Limits: testLimits()})
-	if len(entries) != 13 {
-		t.Fatalf("online catalog has %d entries, want 13", len(entries))
+	if len(entries) != 14 {
+		t.Fatalf("online catalog has %d entries, want 14", len(entries))
 	}
 	withGT := NewCatalog(CatalogConfig{Limits: testLimits(), IncludeGroundTruth: true})
-	if len(withGT) != 14 {
-		t.Fatalf("ground-truth catalog has %d entries, want 14", len(withGT))
+	if len(withGT) != 15 {
+		t.Fatalf("ground-truth catalog has %d entries, want 15", len(withGT))
 	}
 	seen := map[string]bool{}
 	for _, e := range withGT {
@@ -59,7 +59,7 @@ func TestCatalogIDsAndSizes(t *testing.T) {
 			t.Errorf("%s: %v", e.Assertion.ID(), err)
 		}
 	}
-	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14"} {
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14", "A15"} {
 		if !seen[id] {
 			t.Errorf("catalog missing %s", id)
 		}
@@ -402,5 +402,70 @@ func TestCatalogRobustToArbitraryFrames(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// latticeFrame builds an in-motion frame at step i whose GNSS position is
+// the true diagonal trajectory plus deterministic pseudo-noise, optionally
+// snapped to a q-metre grid (q <= 0 leaves the feed continuous).
+func latticeFrame(i int, q float64) Frame {
+	t := float64(i) * 0.05
+	// Deterministic sub-noise-scale dither standing in for receiver noise.
+	nx := 0.12 * math.Sin(13.7*float64(i)+0.3)
+	ny := 0.12 * math.Sin(9.1*float64(i)+1.1)
+	gx := 3.5*t + nx
+	gy := 3.5*t + ny
+	if q > 0 {
+		gx = math.Round(gx/q) * q
+		gy = math.Round(gy/q) * q
+	}
+	f := goodFrame(t)
+	f.EstX, f.EstY, f.EstHeading = 3.5*t, 3.5*t, math.Pi/4
+	f.TrueX, f.TrueY, f.TrueHeading = 3.5*t, 3.5*t, math.Pi/4
+	f.GNSSX, f.GNSSY, f.GNSSCourse = gx, gy, math.Pi/4
+	f.IMUHeading = math.Pi / 4
+	f.Progress = 5 * t
+	return f
+}
+
+// TestA15FiresOnQuantizedFeed: positions snapped to a 0.25 m grid — well
+// below the receiver noise floor — put every consecutive-fix delta on
+// exact multiples of the pitch, and the lattice detector must fire even
+// though every amplitude-based check stays quiet.
+func TestA15FiresOnQuantizedFeed(t *testing.T) {
+	for _, q := range []float64{0.05, 0.25, 1.0} {
+		var frames []Frame
+		for i := 0; i < 200; i++ {
+			frames = append(frames, latticeFrame(i, q))
+		}
+		if ids := runCatalog(t, frames); !contains(ids, "A15") {
+			t.Errorf("A15 silent on %g m quantization lattice: fired %v", q, ids)
+		}
+	}
+}
+
+// TestA15QuietOnContinuousFeed: the same trajectory with continuous noisy
+// positions must not trip the lattice detector — the folded GCD of
+// incommensurate deltas collapses far below the grid floor.
+func TestA15QuietOnContinuousFeed(t *testing.T) {
+	var frames []Frame
+	for i := 0; i < 400; i++ {
+		frames = append(frames, latticeFrame(i, 0))
+	}
+	if ids := runCatalog(t, frames); contains(ids, "A15") {
+		t.Error("A15 fired on a continuous noisy feed (false positive)")
+	}
+}
+
+// TestA15QuietOnConstantDeltas: dead-constant motion (goodFrame's exact
+// 0.25 m steps with zero noise) has a large GCD by construction but only
+// one distinct multiple — the degenerate-lattice guard must hold it back.
+func TestA15QuietOnConstantDeltas(t *testing.T) {
+	var frames []Frame
+	for i := 0; i < 400; i++ {
+		frames = append(frames, goodFrame(float64(i)*0.05))
+	}
+	if ids := runCatalog(t, frames); contains(ids, "A15") {
+		t.Error("A15 fired on constant-delta motion (degenerate lattice)")
 	}
 }

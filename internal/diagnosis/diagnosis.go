@@ -34,6 +34,8 @@ const (
 	CauseMeander        Cause = "gnss-meander"
 	CauseIMUHeadingBias Cause = "imu-heading-bias"
 	CauseOdomScale      Cause = "odom-scale"
+	// A quantized/truncated position feed (sub-noise or coarse grid).
+	CauseQuantizedFeed Cause = "gnss-quantized-feed"
 	// Actuation-path faults.
 	CauseStuckSteer  Cause = "actuator-stuck-steer"
 	CauseSteerOffset Cause = "actuator-steer-offset"
@@ -216,6 +218,13 @@ var ruleTable = []rule{
 			"A10": 5, // the biased speed channel keeps tugging the filter
 		},
 		rationale: "speed references disagree (A4) and the biased channel repeatedly tugs the filter (many A10) while position, heading and lane checks stay quiet — a wheel-speed scaling fault",
+	},
+	{
+		cause:      CauseQuantizedFeed,
+		firstAnyOf: []string{"A15"},
+		present:    map[string]float64{"A15": 3.5},
+		absent:     map[string]float64{"A5": 2, "A9": 1, "A13": 1},
+		rationale:  "GNSS position deltas land on an exact spatial lattice (A15) — a quantized or truncated fixed-point position feed upstream of fusion",
 	},
 	{
 		cause:      CauseStuckSteer,

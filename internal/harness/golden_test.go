@@ -18,7 +18,7 @@ var goldenIDs = []string{
 	"T1", "T2", "T3", "T4", "T5", "T6",
 	"F3", "F5", "F6",
 	"X1", "X2", "X3", "X4", "X5",
-	"M1",
+	"M1", "S1",
 }
 
 // goldenOpts is the fixed configuration the golden files were generated

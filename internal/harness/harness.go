@@ -309,6 +309,7 @@ func All() []Experiment {
 		{"X4", ExtensionX4AssertionUtility},
 		{"X5", ExtensionX5FusionAblation},
 		{"M1", ExperimentM1MutationKillMatrix},
+		{"S1", ExperimentS1EvasionFrontier},
 	}
 }
 

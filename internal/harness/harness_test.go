@@ -66,10 +66,10 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
-	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "X1", "X2", "X3", "X4", "X5", "M1"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "X1", "X2", "X3", "X4", "X5", "M1", "S1"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])

@@ -32,9 +32,10 @@ func render(t *testing.T, id string, workers int) []byte {
 // the rendered output of every parallelised experiment is byte-identical
 // for workers=1, workers=4 and workers=GOMAXPROCS. T1 exercises the
 // campaignGrid path, F5 the custom-config grid path, X5 the mixed
-// clean/attacked grid path.
+// clean/attacked grid path, S1 the adversarial-search frontier (sequential
+// descent inside each track × channel pair, pairs fanned across the pool).
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"T1", "F5", "X5"} {
+	for _, id := range []string{"T1", "F5", "X5", "S1"} {
 		want := render(t, id, 1)
 		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
 			if got := render(t, id, workers); !bytes.Equal(got, want) {

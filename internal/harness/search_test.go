@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSearchFrontierRetreat pins the acceptance criterion of the S1
+// experiment: on every track, the sub-noise GNSS quantize channel has a
+// nonzero evasion region against the pre-A15 catalog and none at all
+// against the full catalog — the frontier closed, not merely moved — and
+// no channel's frontier advanced after the strengthening.
+func TestSearchFrontierRetreat(t *testing.T) {
+	tb, err := ExperimentS1EvasionFrontier(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("S1 rendered no rows")
+	}
+	quantizeRows := 0
+	for _, row := range tb.Rows {
+		track, channel := row[0], row[1]
+		preEvading, fullEvading, verdict := row[2], row[4], row[6]
+		if verdict == "ADVANCED" {
+			t.Errorf("%s/%s: frontier advanced after the catalog strengthening (%s -> %s)",
+				track, channel, preEvading, fullEvading)
+		}
+		if channel != "sense-gnss-quantize" {
+			continue
+		}
+		quantizeRows++
+		if strings.HasPrefix(preEvading, "none") {
+			t.Errorf("%s: pre-A15 catalog left no quantize evasion region (%q) — the searcher found nothing to close",
+				track, preEvading)
+		}
+		if !strings.HasPrefix(fullEvading, "none") {
+			t.Errorf("%s: full catalog still has a quantize evasion region %q, want none", track, fullEvading)
+		}
+		if verdict != "closed" {
+			t.Errorf("%s: quantize verdict %q, want closed", track, verdict)
+		}
+	}
+	if quantizeRows == 0 {
+		t.Error("S1 has no quantize rows")
+	}
+}

@@ -19,7 +19,7 @@ func Table1DetectionMatrix(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ids := []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14"}
+	ids := []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14", "A15"}
 	t := &Table{
 		ID:      "T1",
 		Title:   "Detection matrix: assertion × attack class (majority of seeds, post-onset)",

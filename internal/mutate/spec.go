@@ -126,6 +126,18 @@ func OpKind(op string) Kind {
 	return ops[op].kind
 }
 
+// OpRange returns the canonical parameter bounds of an operator. ok is
+// false for unknown operators and for operators that take no parameter —
+// callers that sweep or search a magnitude axis (internal/search) have no
+// axis to move on those.
+func OpRange(op string) (min, max float64, ok bool) {
+	info, exists := ops[op]
+	if !exists || info.noParam {
+		return 0, 0, false
+	}
+	return info.min, info.max, true
+}
+
 // Spec identifies one mutant: an operator plus one numeric parameter.
 // Param == 0 selects the operator's default; operators marked "no
 // parameter" require Param == 0. The JSON form is the wire format of the
@@ -196,8 +208,10 @@ func DefaultCatalog() []Spec {
 		{Op: OpGNSSDropout, Param: 15},
 		{Op: OpGNSSLatency, Param: 0.8},
 		{Op: OpGNSSQuantize, Param: 2.5},
-		// Sub-noise-floor quantization: a benign fault the catalog has no
-		// assertion for — the default grid's demonstration survivor.
+		// Sub-noise-floor quantization: invisible to every amplitude-based
+		// check, this was the default grid's demonstration survivor until
+		// the A15 lattice detector (motivated by the internal/search evasion
+		// frontier, experiment S1) closed the gap.
 		{Op: OpGNSSQuantize, Param: 0.25},
 		{Op: OpOdomStuck, Param: 2},
 		{Op: OpSteerStuck, Param: 12},

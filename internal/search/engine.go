@@ -1,0 +1,604 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"adassure/internal/core"
+	"adassure/internal/events"
+	"adassure/internal/mutate"
+	"adassure/internal/obs"
+	"adassure/internal/runner"
+	"adassure/internal/sensors"
+	"adassure/internal/sim"
+	"adassure/internal/track"
+	"adassure/internal/vehicle"
+)
+
+// Search modes.
+const (
+	// ModeDescent runs DescendMagnitude per track × channel: deterministic
+	// bracketing of the evasion frontier with a minimality certificate.
+	ModeDescent = "descent"
+	// ModeCEM runs the cross-entropy sampler per track over magnitude ×
+	// window × channel combinations, reporting the best evading candidate
+	// per channel. Broader coverage, weaker certificates.
+	ModeCEM = "cem"
+)
+
+// Config describes one adversarial search campaign. The zero value of
+// every field is the campaign default.
+type Config struct {
+	// Controller is the lateral controller under test (default
+	// "pure-pursuit").
+	Controller string
+	// Tracks are the route names from the track catalog (default
+	// urban-loop + hairpin, mirroring the mutation campaign).
+	Tracks []string
+	// Channels is the search space (default DefaultChannels()). Duplicate
+	// canonical IDs are rejected.
+	Channels []Spec
+	// Assertions optionally restricts the catalog to an explicit ID subset
+	// (nil = full catalog). The S1 experiment searches the same space
+	// against the weakened and full catalogs to render the frontier
+	// retreat.
+	Assertions []string
+	// Mode is ModeDescent (default) or ModeCEM.
+	Mode string
+	// Seed drives all stochastic components of every run (default 1).
+	Seed int64
+	// Budget caps oracle evaluations: per track × channel pair in descent
+	// mode (default 16), per track in cem mode (default 48).
+	Budget int
+	// Shrink and Ratio tune the descent ladder (defaults 0.5 and 1.15).
+	Shrink float64
+	Ratio  float64
+	// Duration is the simulated seconds per probe run (default 60).
+	Duration float64
+	// SpeedLimit of the routes in m/s (default 6).
+	SpeedLimit float64
+	// Workers sizes the runner pool (default GOMAXPROCS). The report is
+	// byte-identical for any value.
+	Workers int
+	// Obs, when non-nil, aggregates runtime metrics across every probe run
+	// (sim.runs counts one per oracle evaluation plus one baseline per
+	// track).
+	Obs *obs.Registry
+	// Events, when non-nil, records every probe's timeline, scoped
+	// "search/<op>/<track>/<n>/" ("search/baseline/<track>/" for
+	// baselines).
+	Events *events.Recorder
+	// Progress, when non-nil, receives (done, total) job counts: first the
+	// baseline batch, then the search batch.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the campaign early.
+	Context context.Context
+}
+
+func (c *Config) defaults() error {
+	if c.Controller == "" {
+		c.Controller = "pure-pursuit"
+	}
+	if len(c.Tracks) == 0 {
+		c.Tracks = []string{"urban-loop", "hairpin"}
+	}
+	if len(c.Channels) == 0 {
+		c.Channels = DefaultChannels()
+	}
+	if c.Mode == "" {
+		c.Mode = ModeDescent
+	}
+	if c.Mode != ModeDescent && c.Mode != ModeCEM {
+		return fmt.Errorf("search: unknown mode %q (want %q or %q)", c.Mode, ModeDescent, ModeCEM)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Budget == 0 {
+		if c.Mode == ModeCEM {
+			c.Budget = 48
+		} else {
+			c.Budget = 16
+		}
+	}
+	if c.Budget < 1 {
+		return fmt.Errorf("search: budget must be >= 1, got %d", c.Budget)
+	}
+	if c.Shrink == 0 {
+		c.Shrink = 0.5
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 1.15
+	}
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if c.Duration <= 0 || math.IsNaN(c.Duration) || math.IsInf(c.Duration, 0) {
+		return fmt.Errorf("search: duration must be positive and finite, got %g", c.Duration)
+	}
+	if c.SpeedLimit == 0 {
+		c.SpeedLimit = 6
+	}
+	if c.SpeedLimit <= 0 || math.IsNaN(c.SpeedLimit) || math.IsInf(c.SpeedLimit, 0) {
+		return fmt.Errorf("search: speed limit must be positive and finite, got %g", c.SpeedLimit)
+	}
+	canon := make([]Spec, len(c.Channels))
+	seen := map[string]bool{}
+	for i, ch := range c.Channels {
+		cc, err := ch.Canonicalize()
+		if err != nil {
+			return err
+		}
+		if seen[cc.ID()] {
+			return fmt.Errorf("search: duplicate channel %q", cc.ID())
+		}
+		seen[cc.ID()] = true
+		canon[i] = cc
+	}
+	c.Channels = canon
+	return nil
+}
+
+// FrontierPoint is one converged point of the evasion frontier: per track
+// × channel, the largest attack the catalog missed and its minimality
+// certificate.
+type FrontierPoint struct {
+	Track   string `json:"track"`
+	Channel string `json:"channel"`
+	Point
+	// DetectedBy is the kill set at the certificate magnitude (assertions
+	// that fired there but not on the track baseline), in catalog order.
+	DetectedBy []string `json:"detected_by,omitempty"`
+	// Window is the activation window of the best evading candidate (cem
+	// mode only; descent attacks are active for the whole run).
+	Window *Window `json:"window,omitempty"`
+}
+
+// Report is the outcome of one search campaign: the evasion frontier. Its
+// JSON encoding is canonical (struct fields and slices only), so
+// byte-identical reports mean identical campaigns.
+type Report struct {
+	Controller string   `json:"controller"`
+	Mode       string   `json:"mode"`
+	Seed       int64    `json:"seed"`
+	Duration   float64  `json:"duration_s"`
+	Budget     int      `json:"budget"`
+	Shrink     float64  `json:"shrink"`
+	Ratio      float64  `json:"ratio"`
+	Tracks     []string `json:"tracks"`
+	Channels   []string `json:"channels"`
+	// Assertions is the active catalog subset, in catalog order.
+	Assertions []string `json:"assertions"`
+	// Frontier has one point per track × channel, track-major in config
+	// order.
+	Frontier []FrontierPoint `json:"frontier"`
+	// TotalEvals is the number of oracle evaluations spent (excluding the
+	// per-track baselines).
+	TotalEvals int `json:"total_evals"`
+}
+
+// Run executes the campaign: one pristine baseline per track (under the
+// same assertion subset), then the optimizer per track × channel, fanned
+// across the runner pool with index-ordered collection, so the report is
+// deterministic in Config for any worker count.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	catalog, err := track.Catalog(cfg.SpeedLimit)
+	if err != nil {
+		return nil, err
+	}
+	tracks := make([]*track.Track, len(cfg.Tracks))
+	for i, name := range cfg.Tracks {
+		tr, ok := catalog[name]
+		if !ok {
+			return nil, fmt.Errorf("search: unknown track %q (have %v)", name, track.Names(catalog))
+		}
+		tracks[i] = tr
+	}
+	// Validate the assertion subset once, and pin the active catalog order
+	// for the report and kill sorting.
+	orderMon, err := core.NewCatalogMonitorWith(core.CatalogConfig{IncludeGroundTruth: true}, cfg.Assertions)
+	if err != nil {
+		return nil, err
+	}
+	assertionOrder := orderMon.AssertionIDs()
+	orderIdx := make(map[string]int, len(assertionOrder))
+	for i, id := range assertionOrder {
+		orderIdx[id] = i
+	}
+
+	e := &engine{cfg: cfg, tracks: tracks, orderIdx: orderIdx}
+
+	// Phase 1: pristine baselines, one per track, fanned across the pool.
+	baselines, err := runner.Map(runner.Options{
+		Workers:    cfg.Workers,
+		Context:    cfg.Context,
+		OnProgress: cfg.Progress,
+		Obs:        cfg.Obs,
+		Events:     cfg.Events,
+	}, tracks, func(ctx context.Context, ti int, _ *track.Track) ([]string, error) {
+		return e.probe(ctx, ti, "search/baseline/"+cfg.Tracks[ti]+"/", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.baselineFired = make([]map[string]bool, len(tracks))
+	for ti, fired := range baselines {
+		e.baselineFired[ti] = make(map[string]bool, len(fired))
+		for _, id := range fired {
+			e.baselineFired[ti][id] = true
+		}
+	}
+
+	rep := &Report{
+		Controller: cfg.Controller,
+		Mode:       cfg.Mode,
+		Seed:       cfg.Seed,
+		Duration:   cfg.Duration,
+		Budget:     cfg.Budget,
+		Shrink:     cfg.Shrink,
+		Ratio:      cfg.Ratio,
+		Tracks:     append([]string(nil), cfg.Tracks...),
+		Assertions: assertionOrder,
+	}
+	for _, ch := range cfg.Channels {
+		rep.Channels = append(rep.Channels, ch.ID())
+	}
+
+	// Phase 2: the optimizer.
+	if cfg.Mode == ModeCEM {
+		err = e.runCEM(rep)
+	} else {
+		err = e.runDescent(rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range rep.Frontier {
+		rep.TotalEvals += p.Evals
+	}
+	return rep, nil
+}
+
+// engine carries the per-campaign state shared by both modes.
+type engine struct {
+	cfg           Config
+	tracks        []*track.Track
+	orderIdx      map[string]int
+	baselineFired []map[string]bool
+}
+
+// probe runs one simulation — pristine when attack is nil — and returns
+// the sorted fired-assertion IDs.
+func (e *engine) probe(ctx context.Context, ti int, scope string, attack *attack) ([]string, error) {
+	mon, err := core.NewCatalogMonitorWith(core.CatalogConfig{IncludeGroundTruth: true}, e.cfg.Assertions)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.Config{
+		Track:      e.tracks[ti],
+		Controller: e.cfg.Controller,
+		Vehicle:    vehicle.ShuttleParams(),
+		Seed:       e.cfg.Seed,
+		Duration:   e.cfg.Duration,
+		Monitor:    mon,
+		// Probe runs never read traces, and instrumented configs must not
+		// record them (mirrors the mutation campaign).
+		DisableTrace: true,
+		Obs:          e.cfg.Obs,
+		Events:       e.cfg.Events,
+		EventScope:   scope,
+		Context:      ctx,
+	}
+	if attack != nil {
+		spec, err := mutate.Spec{Op: attack.op, Param: attack.mag}.Canonicalize()
+		if err != nil {
+			return nil, err
+		}
+		if err := mutate.Instrument(&sc, spec); err != nil {
+			return nil, err
+		}
+		if attack.window != nil {
+			if sc.Faults == nil {
+				return nil, fmt.Errorf("search: channel %q is not windowable", attack.op)
+			}
+			sc.Faults = gateFaults(sc.Faults, *attack.window)
+		}
+	}
+	if _, err := sim.Run(sc); err != nil {
+		return nil, err
+	}
+	return mon.FiredIDs(), nil
+}
+
+// attack is one concrete probe: an operator at a magnitude, optionally
+// windowed.
+type attack struct {
+	op     string
+	mag    float64
+	window *Window
+}
+
+// kills returns fired minus the track baseline, in catalog order —
+// detection attributable to the attack rather than to the clean run.
+func (e *engine) kills(ti int, fired []string) []string {
+	var out []string
+	for _, id := range fired {
+		if !e.baselineFired[ti][id] {
+			out = append(out, id)
+		}
+	}
+	// fired is already in catalog order (Monitor.FiredIDs), so out is too.
+	return out
+}
+
+// runDescent fans DescendMagnitude over every track × channel pair. The
+// descent inside a pair is sequential (each probe depends on the last),
+// so determinism needs only index-ordered pair collection.
+func (e *engine) runDescent(rep *Report) error {
+	cfg := e.cfg
+	type pair struct{ ti, ci int }
+	var pairs []pair
+	for ti := range e.tracks {
+		for ci := range cfg.Channels {
+			pairs = append(pairs, pair{ti, ci})
+		}
+	}
+	points, err := runner.Map(runner.Options{
+		Workers:    cfg.Workers,
+		Context:    cfg.Context,
+		OnProgress: cfg.Progress,
+		Obs:        cfg.Obs,
+		Events:     cfg.Events,
+	}, pairs, func(ctx context.Context, _ int, p pair) (FrontierPoint, error) {
+		ch := cfg.Channels[p.ci]
+		evalN := 0
+		killsAt := map[float64][]string{}
+		oracle := func(mag float64) (bool, error) {
+			evalN++
+			scope := "search/" + ch.Op + "/" + cfg.Tracks[p.ti] + "/" + strconv.Itoa(evalN) + "/"
+			fired, err := e.probe(ctx, p.ti, scope, &attack{op: ch.Op, mag: mag, window: ch.Window})
+			if err != nil {
+				return false, err
+			}
+			kills := e.kills(p.ti, fired)
+			killsAt[mag] = kills
+			return len(kills) > 0, nil
+		}
+		pt, err := DescendMagnitude(oracle, DescendOptions{
+			Min: ch.Min, Max: ch.Max,
+			Shrink: cfg.Shrink, Ratio: cfg.Ratio, Budget: cfg.Budget,
+		})
+		if err != nil {
+			return FrontierPoint{}, err
+		}
+		fp := FrontierPoint{
+			Track:   cfg.Tracks[p.ti],
+			Channel: ch.Op,
+			Point:   pt,
+			Window:  ch.Window,
+		}
+		if pt.Detected > 0 {
+			fp.DetectedBy = killsAt[pt.Detected]
+		}
+		return fp, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.Frontier = points
+	return nil
+}
+
+// runCEM runs the cross-entropy sampler per track: generations are
+// sequential (the refit needs the previous generation's scores) and each
+// generation's population is evaluated via runner.Map with index-ordered
+// collection, so the report stays deterministic at any worker count.
+func (e *engine) runCEM(rep *Report) error {
+	cfg := e.cfg
+	for ti := range e.tracks {
+		sampler, err := NewCEMSampler(CEMOptions{
+			Specs:    cfg.Channels,
+			Duration: cfg.Duration,
+			Budget:   cfg.Budget,
+			Seed:     cfg.Seed + int64(ti),
+		})
+		if err != nil {
+			return err
+		}
+		// Per-channel running frontier across all generations.
+		best := make([]FrontierPoint, len(cfg.Channels))
+		for ci, ch := range cfg.Channels {
+			best[ci] = FrontierPoint{
+				Track:   cfg.Tracks[ti],
+				Channel: ch.Op,
+				Point:   Point{Status: StatusAllDetected},
+			}
+		}
+		evalN := 0
+		for g := 0; g < sampler.Generations(); g++ {
+			cands := sampler.Sample()
+			type outcome struct {
+				kills []string
+			}
+			outs, err := runner.Map(runner.Options{
+				Workers:    cfg.Workers,
+				Context:    cfg.Context,
+				OnProgress: cfg.Progress,
+				Obs:        cfg.Obs,
+				Events:     cfg.Events,
+			}, cands, func(ctx context.Context, i int, cand Candidate) (outcome, error) {
+				ch := cfg.Channels[cand.Channel]
+				scope := "search/" + ch.Op + "/" + cfg.Tracks[ti] + "/" +
+					strconv.Itoa(evalN+i+1) + "/"
+				fired, err := e.probe(ctx, ti, scope, &attack{op: ch.Op, mag: cand.Mag, window: cand.Window})
+				if err != nil {
+					return outcome{}, err
+				}
+				return outcome{kills: e.kills(ti, fired)}, nil
+			})
+			if err != nil {
+				return err
+			}
+			evalN += len(cands)
+			scores := make([]float64, len(cands))
+			for i, cand := range cands {
+				p := &best[cand.Channel]
+				p.Evals++
+				if len(outs[i].kills) == 0 {
+					scores[i] = cand.Mag // evading: bigger is a better attack
+					if cand.Mag > p.Evading {
+						p.Evading, p.Window = cand.Mag, cand.Window
+					}
+				} else if p.Detected == 0 || cand.Mag < p.Detected {
+					p.Detected, p.DetectedBy = cand.Mag, outs[i].kills
+				}
+			}
+			sampler.Refit(cands, scores)
+		}
+		for ci := range best {
+			p := &best[ci]
+			if p.Evading > 0 && p.Detected > p.Evading {
+				p.Status = StatusConverged
+			} else if p.Evading > 0 {
+				p.Status = StatusAllEvading
+			} else if p.Detected > 0 {
+				p.Status = StatusAllDetected
+			} else {
+				p.Status = StatusBudget // channel never sampled this campaign
+			}
+		}
+		rep.Frontier = append(rep.Frontier, best...)
+	}
+	return nil
+}
+
+// gateFaults wraps a FaultSet so its hooks apply only inside the window
+// [Start, End); outside it readings and commands pass through untouched.
+// The wrapped closures keep their own state, so a latency queue simply
+// stops advancing outside the window.
+func gateFaults(fs *sim.FaultSet, w Window) *sim.FaultSet {
+	g := &sim.FaultSet{}
+	if f := fs.GNSS; f != nil {
+		g.GNSS = func(fix sensors.GNSSFix, t float64) (sensors.GNSSFix, bool) {
+			if t < w.Start || t >= w.End {
+				return fix, true
+			}
+			return f(fix, t)
+		}
+	}
+	if f := fs.IMU; f != nil {
+		g.IMU = func(r sensors.IMUReading, t float64) (sensors.IMUReading, bool) {
+			if t < w.Start || t >= w.End {
+				return r, true
+			}
+			return f(r, t)
+		}
+	}
+	if f := fs.Odom; f != nil {
+		g.Odom = func(r sensors.OdomReading, t float64) (sensors.OdomReading, bool) {
+			if t < w.Start || t >= w.End {
+				return r, true
+			}
+			return f(r, t)
+		}
+	}
+	if f := fs.Actuator; f != nil {
+		g.Actuator = func(cmd vehicle.Command, t float64) vehicle.Command {
+			if t < w.Start || t >= w.End {
+				return cmd
+			}
+			return f(cmd, t)
+		}
+	}
+	return g
+}
+
+// WriteJSON writes the canonical JSON encoding of the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON decodes a report written by WriteJSON.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("search: decode report: %w", err)
+	}
+	return &rep, nil
+}
+
+// PointFor returns the frontier point of one track × channel.
+func (r *Report) PointFor(trackName, channel string) (FrontierPoint, bool) {
+	for _, p := range r.Frontier {
+		if p.Track == trackName && p.Channel == channel {
+			return p, true
+		}
+	}
+	return FrontierPoint{}, false
+}
+
+// WriteFrontierReport renders the evasion frontier as text: per track ×
+// channel, the largest undetected attack and its minimality certificate.
+// Every line with a nonzero evading magnitude is a fault class the
+// catalog needs a new or tighter assertion for.
+func (r *Report) WriteFrontierReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "evasion-frontier report — %s, mode %s, tracks %v, seed %d, %.0f s/run, budget %d\n",
+		r.Controller, r.Mode, r.Tracks, r.Seed, r.Duration, r.Budget); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "assertions: %d active (%s … %s)\n",
+		len(r.Assertions), first(r.Assertions), last(r.Assertions)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "frontier (largest undetected attack per track × channel; certificate = smallest detected neighbor):"); err != nil {
+		return err
+	}
+	for _, p := range r.Frontier {
+		evading := "none"
+		if p.Evading > 0 {
+			evading = fmtMag(p.Evading)
+			if p.Window != nil {
+				evading += fmt.Sprintf("@[%s,%s)", fmtMag(p.Window.Start), fmtMag(p.Window.End))
+			}
+		}
+		cert := "none"
+		if p.Detected > 0 {
+			cert = fmtMag(p.Detected)
+			if len(p.DetectedBy) > 0 {
+				cert += fmt.Sprintf(" by %v", p.DetectedBy)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %-12s %-22s evading %-28s certificate %-28s %s, %d evals\n",
+			p.Track, p.Channel, evading, cert, p.Status, p.Evals); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total probe runs: %d (plus %d baselines)\n", r.TotalEvals, len(r.Tracks))
+	return err
+}
+
+// fmtMag renders a magnitude compactly and stably.
+func fmtMag(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+func first(s []string) string {
+	if len(s) == 0 {
+		return "-"
+	}
+	return s[0]
+}
+
+func last(s []string) string {
+	if len(s) == 0 {
+		return "-"
+	}
+	return s[len(s)-1]
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzSearchSpec checks the search-spec wire contract over arbitrary JSON:
+// undecodable payloads and non-canonical specs are rejected — NaN/Inf
+// magnitudes, inverted windows/ranges and unknown channels as typed
+// *SpecError values wrapping the package sentinels — while any accepted
+// spec canonicalizes stably (idempotent, stable ID) and round-trips
+// through JSON.
+func FuzzSearchSpec(f *testing.F) {
+	seeds := []string{
+		`{"op":"sense-gnss-quantize"}`,
+		`{"op":"sense-gnss-quantize","min":0.05,"max":2.5}`,
+		`{"op":"sense-gnss-latency","window":{"start":10,"end":30}}`,
+		`{"op":"ctrl-lookahead-skip","min":0.5,"max":20}`,
+		`{"op":"ctrl-frozen-input"}`,
+		`{"op":"no-such-op"}`,
+		`{"op":"identity"}`,
+		`{"op":"sense-gnss-quantize","min":2,"max":1}`,
+		`{"op":"sense-gnss-quantize","min":1e999}`,
+		`{"op":"sense-gnss-latency","window":{"start":30,"end":10}}`,
+		`{"op":"sense-gnss-latency","window":{"start":-1,"end":10}}`,
+		`{"op":"ctrl-frozen-input","window":{"start":1,"end":2}}`,
+		`{"op":""}`,
+		`{}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var spec Spec
+		if err := json.Unmarshal([]byte(data), &spec); err != nil {
+			return // undecodable payloads are out of contract
+		}
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			// Rejections must carry the typed taxonomy, never a bare error.
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection of %s is not a *SpecError: %v", data, err)
+			}
+			sentinels := []error{
+				ErrUnknownChannel, ErrNonFinite, ErrInvertedRange,
+				ErrOutOfRange, ErrInvertedWindow, ErrWindowUnsupported,
+			}
+			matched := false
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Fatalf("rejection of %s wraps no sentinel: %v", data, err)
+			}
+			return
+		}
+
+		// Canonicalization is a fixed point with a stable identity.
+		again, err := canon.Canonicalize()
+		if err != nil {
+			t.Fatalf("canonical spec %+v rejected on re-canonicalize: %v", canon, err)
+		}
+		if again.ID() != canon.ID() || canon.ID() == "" {
+			t.Fatalf("unstable ID: %q vs %q", canon.ID(), again.ID())
+		}
+		if !(canon.Min > 0 && canon.Max >= canon.Min) {
+			t.Fatalf("accepted spec %+v has a degenerate range", canon)
+		}
+
+		// JSON round trip preserves the canonical spec exactly.
+		b, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", canon, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back.ID() != canon.ID() {
+			t.Fatalf("JSON round trip drifted: %+v -> %s -> %+v", canon, b, back)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package search
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// probeLog records every oracle call DescendMagnitude makes, so the
+// property tests can check the optimizer's contract against the actual
+// call sequence rather than trusting the returned Point.
+type probeLog struct {
+	mags []float64
+	dets []bool
+}
+
+// thresholdOracle models a monotone detector: magnitudes >= threshold are
+// detected. This is exactly the shape the descent contract assumes.
+func (l *probeLog) thresholdOracle(threshold float64) Oracle {
+	return func(mag float64) (bool, error) {
+		det := mag >= threshold
+		l.mags = append(l.mags, mag)
+		l.dets = append(l.dets, det)
+		return det, nil
+	}
+}
+
+// result reports whether a magnitude was probed and what the answer was.
+func (l *probeLog) result(mag float64) (det, probed bool) {
+	for i, m := range l.mags {
+		if m == mag {
+			return l.dets[i], true
+		}
+	}
+	return false, false
+}
+
+// TestDescendProperties drives DescendMagnitude over randomized monotone
+// oracles and checks the four optimizer invariants on every run:
+//  1. the returned evading attack was probed and evaded,
+//  2. its certificate neighbor was probed and detected,
+//  3. the magnitude never increases across shrink-ladder iterations,
+//  4. the eval budget is never exceeded.
+func TestDescendProperties(t *testing.T) {
+	prop := func(thrRaw, minRaw, spanRaw uint32, shrinkRaw uint16, budgetRaw uint8) bool {
+		// Map raw fuzz inputs onto a valid option space.
+		min := 0.01 + float64(minRaw%10000)/100                          // [0.01, 100)
+		max := min * (1 + float64(spanRaw%100000)/100)                   // [min, min*1001)
+		threshold := min * math.Pow(max/min+1, float64(thrRaw%1000)/999) // may exceed max
+		shrink := 0.05 + 0.9*float64(shrinkRaw%1000)/1000                // [0.05, 0.95)
+		budget := 1 + int(budgetRaw%64)                                  // [1, 64]
+
+		log := &probeLog{}
+		pt, err := DescendMagnitude(log.thresholdOracle(threshold), DescendOptions{
+			Min: min, Max: max, Shrink: shrink, Budget: budget,
+		})
+		if err != nil {
+			t.Logf("descend error: %v", err)
+			return false
+		}
+
+		// (4) Budget never exceeded, and Evals is honest.
+		if pt.Evals > budget || pt.Evals != len(log.mags) {
+			t.Logf("evals %d, budget %d, calls %d", pt.Evals, budget, len(log.mags))
+			return false
+		}
+		// (1) The returned attack always evades.
+		if pt.Evading != 0 {
+			if det, probed := log.result(pt.Evading); !probed || det {
+				t.Logf("evading %g: probed=%v detected=%v", pt.Evading, probed, det)
+				return false
+			}
+		}
+		// (2) The certificate neighbor is always detected, above the attack.
+		if pt.Detected != 0 {
+			if det, probed := log.result(pt.Detected); !probed || !det {
+				t.Logf("certificate %g: probed=%v detected=%v", pt.Detected, probed, det)
+				return false
+			}
+			if pt.Evading != 0 && pt.Detected <= pt.Evading {
+				t.Logf("certificate %g not above evading %g", pt.Detected, pt.Evading)
+				return false
+			}
+		}
+		// (3) Magnitude never increases across shrink iterations: the
+		// ladder prefix (all probes up to and including the first evasion)
+		// is strictly non-increasing.
+		for i := 1; i < len(log.mags); i++ {
+			if log.dets[i-1] && log.mags[i] > log.mags[i-1] {
+				t.Logf("ladder increased: %v", log.mags[:i+1])
+				return false
+			}
+			if !log.dets[i-1] {
+				break // ladder ended; bisection probes move both ways
+			}
+		}
+		// All probes stay inside the configured axis.
+		for _, m := range log.mags {
+			if m < min-1e-12 || m > max+1e-12 {
+				t.Logf("probe %g outside [%g, %g]", m, min, max)
+				return false
+			}
+		}
+		// Status is consistent with the point's shape.
+		switch pt.Status {
+		case StatusAllDetected:
+			if pt.Evading != 0 {
+				return false
+			}
+		case StatusAllEvading:
+			if pt.Detected != 0 {
+				return false
+			}
+		case StatusConverged:
+			if pt.Evading == 0 || pt.Detected == 0 {
+				return false
+			}
+		case StatusBudget:
+			if pt.Evals < budget {
+				return false
+			}
+		default:
+			t.Logf("unknown status %q", pt.Status)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDescendConvergesTight pins the bracket quality on an easy instance:
+// with budget to spare, the certificate ends within Ratio of the attack.
+func TestDescendConvergesTight(t *testing.T) {
+	log := &probeLog{}
+	pt, err := DescendMagnitude(log.thresholdOracle(1.0), DescendOptions{
+		Min: 0.01, Max: 100, Ratio: 1.05, Budget: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Status != StatusConverged {
+		t.Fatalf("status %q, want converged (point %+v)", pt.Status, pt)
+	}
+	if pt.Detected/pt.Evading > 1.05 {
+		t.Errorf("bracket [%g, %g] looser than ratio 1.05", pt.Evading, pt.Detected)
+	}
+	if !(pt.Evading < 1.0 && pt.Detected >= 1.0) {
+		t.Errorf("bracket [%g, %g] does not straddle the true threshold 1.0", pt.Evading, pt.Detected)
+	}
+}
+
+// TestDescendRejectsBadOptions covers the option validation.
+func TestDescendRejectsBadOptions(t *testing.T) {
+	noop := func(float64) (bool, error) { return true, nil }
+	bad := []DescendOptions{
+		{Min: 0, Max: 1},
+		{Min: -1, Max: 1},
+		{Min: 2, Max: 1},
+		{Min: 1, Max: math.Inf(1)},
+		{Min: 1, Max: 2, Shrink: 1.5},
+		{Min: 1, Max: 2, Ratio: 0.9},
+		{Min: 1, Max: 2, Budget: -1},
+	}
+	for _, o := range bad {
+		if _, err := DescendMagnitude(noop, o); err == nil {
+			t.Errorf("options %+v accepted, want error", o)
+		}
+	}
+}
+
+// TestCEMSamplerDeterministic asserts two same-seed samplers emit the
+// identical candidate stream through sampling and refitting.
+func TestCEMSamplerDeterministic(t *testing.T) {
+	specs := make([]Spec, 0, len(DefaultChannels()))
+	for _, ch := range DefaultChannels() {
+		c, err := ch.Canonicalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, c)
+	}
+	mk := func() *CEMSampler {
+		s, err := NewCEMSampler(CEMOptions{Specs: specs, Duration: 60, Budget: 36, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for g := 0; g < a.Generations(); g++ {
+		ca, cb := a.Sample(), b.Sample()
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("generation %d diverged:\n%v\nvs\n%v", g, ca, cb)
+		}
+		// Synthetic scores: detection iff magnitude above the channel's
+		// geometric midpoint.
+		scores := make([]float64, len(ca))
+		for i, c := range ca {
+			mid := math.Sqrt(specs[c.Channel].Min * specs[c.Channel].Max)
+			if c.Mag < mid {
+				scores[i] = c.Mag
+			}
+		}
+		a.Refit(ca, scores)
+		b.Refit(cb, scores)
+	}
+	// Candidates respect channel bounds and window validity throughout.
+	for _, c := range mk().Sample() {
+		s := specs[c.Channel]
+		if c.Mag < s.Min || c.Mag > s.Max {
+			t.Errorf("candidate magnitude %g outside %q bounds [%g, %g]", c.Mag, s.Op, s.Min, s.Max)
+		}
+		if windowable(s.Op) {
+			if c.Window == nil {
+				t.Errorf("windowable channel %q sampled without a window", s.Op)
+			} else if c.Window.Start < 0 || c.Window.End <= c.Window.Start || c.Window.End > 60 {
+				t.Errorf("invalid sampled window %+v", c.Window)
+			}
+		} else if c.Window != nil {
+			t.Errorf("controller channel %q sampled with a window", s.Op)
+		}
+	}
+}

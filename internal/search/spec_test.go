@@ -1,0 +1,93 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adassure/internal/mutate"
+)
+
+func TestCanonicalizeDefaultsToOpRange(t *testing.T) {
+	c, err := Spec{Op: mutate.OpGNSSQuantize}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Min != 0.05 || c.Max != 100 {
+		t.Errorf("quantize range defaulted to [%g, %g], want the operator bounds [0.05, 100]", c.Min, c.Max)
+	}
+	if got := c.ID(); got != "sense-gnss-quantize[0.05,100]" {
+		t.Errorf("ID = %q", got)
+	}
+	c2, err := c.Canonicalize()
+	if err != nil || c2.ID() != c.ID() {
+		t.Errorf("Canonicalize not idempotent: %+v -> %+v (%v)", c, c2, err)
+	}
+}
+
+func TestCanonicalizeWindow(t *testing.T) {
+	w := &Window{Start: 10, End: 30}
+	c, err := Spec{Op: mutate.OpGNSSLatency, Window: w}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window == w {
+		t.Error("canonical spec aliases the caller's window pointer")
+	}
+	if *c.Window != *w {
+		t.Errorf("window drifted: %+v", c.Window)
+	}
+	if got := c.ID(); got != "sense-gnss-latency[0.05,10]@[10,30)" {
+		t.Errorf("ID = %q", got)
+	}
+}
+
+// TestCanonicalizeTypedErrors pins the error taxonomy the fuzz target and
+// the service layer classify on.
+func TestCanonicalizeTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want error
+	}{
+		{"unknown op", Spec{Op: "no-such-op"}, ErrUnknownChannel},
+		{"parameterless op", Spec{Op: mutate.OpIdentity}, ErrUnknownChannel},
+		{"parameterless gain-flip", Spec{Op: mutate.OpGainFlip}, ErrUnknownChannel},
+		{"nan min", Spec{Op: mutate.OpGNSSQuantize, Min: math.NaN()}, ErrNonFinite},
+		{"inf max", Spec{Op: mutate.OpGNSSQuantize, Max: math.Inf(1)}, ErrNonFinite},
+		{"inverted range", Spec{Op: mutate.OpGNSSQuantize, Min: 2, Max: 1}, ErrInvertedRange},
+		{"below op min", Spec{Op: mutate.OpGNSSQuantize, Min: 0.001, Max: 1}, ErrOutOfRange},
+		{"above op max", Spec{Op: mutate.OpGNSSQuantize, Min: 1, Max: 5000}, ErrOutOfRange},
+		{"negative window", Spec{Op: mutate.OpGNSSLatency, Window: &Window{Start: -1, End: 5}}, ErrInvertedWindow},
+		{"empty window", Spec{Op: mutate.OpGNSSLatency, Window: &Window{Start: 5, End: 5}}, ErrInvertedWindow},
+		{"nan window", Spec{Op: mutate.OpGNSSLatency, Window: &Window{Start: math.NaN(), End: 5}}, ErrNonFinite},
+		{"window on controller", Spec{Op: mutate.OpFrozenInput, Window: &Window{Start: 1, End: 5}}, ErrWindowUnsupported},
+	}
+	for _, tc := range cases {
+		_, err := tc.spec.Canonicalize()
+		if err == nil {
+			t.Errorf("%s: accepted, want %v", tc.name, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want sentinel %v", tc.name, err, tc.want)
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: rejection %v is not a *SpecError", tc.name, err)
+		}
+	}
+}
+
+func TestDefaultChannelsCanonical(t *testing.T) {
+	for _, ch := range DefaultChannels() {
+		c, err := ch.Canonicalize()
+		if err != nil {
+			t.Errorf("default channel %q rejected: %v", ch.Op, err)
+			continue
+		}
+		if !(c.Min > 0 && c.Max > c.Min) {
+			t.Errorf("default channel %q canonical range [%g, %g] degenerate", ch.Op, c.Min, c.Max)
+		}
+	}
+}

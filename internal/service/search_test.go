@@ -1,0 +1,233 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adassure/internal/mutate"
+	"adassure/internal/search"
+)
+
+// smallSearch is the cheap /v1/search request of the tests: one channel on
+// one short route with a tiny descent budget.
+func smallSearch() SearchRequest {
+	return SearchRequest{
+		Tracks:   []string{"urban-loop"},
+		Channels: []search.Spec{{Op: mutate.OpGNSSQuantize, Min: 0.05, Max: 2.5}},
+		Budget:   4,
+		Duration: 15,
+	}
+}
+
+// postSearch posts a body (raw JSON) to /v1/search and returns the
+// response.
+func postSearch(t *testing.T, c *Client, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := c.httpClient().Post(c.BaseURL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestSearchEndToEnd runs a small campaign through the service: the
+// response is an evasion-frontier report with one point per track ×
+// channel, and repeating the request is a cache hit with byte-identical
+// body and no re-simulation.
+func TestSearchEndToEnd(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	reqBody, err := json.Marshal(smallSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postSearch(t, c, reqBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(CacheHeader); got != "miss" {
+		t.Fatalf("cache disposition %q, want miss", got)
+	}
+	rep, err := search.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("response is not a frontier report: %v", err)
+	}
+	if len(rep.Frontier) != 1 {
+		t.Fatalf("frontier has %d points, want 1 (one track × one channel): %+v", len(rep.Frontier), rep.Frontier)
+	}
+	if p := rep.Frontier[0]; p.Evals == 0 || p.Evals > 4 {
+		t.Fatalf("frontier point spent %d evals, want within (0, 4]", p.Evals)
+	}
+	runs := s.Registry().Counter("sim.runs").Value()
+	// 1 baseline + TotalEvals probes, exactly once.
+	if want := int64(1 + rep.TotalEvals); runs != want {
+		t.Fatalf("sim.runs = %d, want %d (baseline + probes)", runs, want)
+	}
+
+	resp2, body2 := postSearch(t, c, reqBody)
+	if got := resp2.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("second call disposition %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cached search body differs from fresh body")
+	}
+	if got := s.Registry().Counter("sim.runs").Value(); got != runs {
+		t.Fatalf("sim.runs = %d after cache hit, want %d (cache must not re-run the search)", got, runs)
+	}
+}
+
+// TestSearchCanonicalizationSharesCacheEntry: a request spelled with
+// explicit defaults hits the cache entry of the equivalent bare request.
+func TestSearchCanonicalizationSharesCacheEntry(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+	bare, err := json.Marshal(smallSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postSearch(t, c, bare); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare request: status %d, body %s", resp.StatusCode, body)
+	}
+	runs := s.Registry().Counter("sim.runs").Value()
+	explicit := []byte(`{"controller": "pure-pursuit", "tracks": ["urban-loop"], "mode": "descent",
+		"channels": [{"op": "sense-gnss-quantize", "min": 0.05, "max": 2.5}],
+		"seed": 1, "budget": 4, "duration": 15}`)
+	resp, _ := postSearch(t, c, explicit)
+	if got := resp.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("explicit spelling missed the cache (disposition %q)", got)
+	}
+	if got := s.Registry().Counter("sim.runs").Value(); got != runs {
+		t.Fatalf("sim.runs = %d, want %d", got, runs)
+	}
+}
+
+// TestSearchBadRequests: malformed documents and invalid search parameters
+// are 400s with the JSON error envelope, before any simulation runs.
+func TestSearchBadRequests(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error message
+	}{
+		{"malformed JSON", `{"channels": [`, "decode request"},
+		{"unknown field", `{"channelz": []}`, "decode request"},
+		{"unknown channel", `{"channels": [{"op": "ctrl-teleport"}]}`, "unsearchable channel"},
+		{"parameterless channel", `{"channels": [{"op": "identity"}]}`, "unsearchable channel"},
+		{"inverted range", `{"channels": [{"op": "sense-gnss-quantize", "min": 2, "max": 1}]}`, "inverted magnitude range"},
+		{"out-of-range magnitude", `{"channels": [{"op": "sense-gnss-quantize", "min": 1, "max": 5000}]}`, "outside operator bounds"},
+		{"inverted window", `{"channels": [{"op": "sense-gnss-latency", "window": {"start": 30, "end": 10}}]}`, "inverted window"},
+		{"window on controller", `{"channels": [{"op": "ctrl-frozen-input", "window": {"start": 1, "end": 2}}]}`, "window unsupported"},
+		{"duplicate channels", `{"channels": [{"op": "sense-gnss-latency"}, {"op": "sense-gnss-latency"}]}`, "duplicate"},
+		{"unknown track", `{"tracks": ["moebius-strip"]}`, "unknown track"},
+		{"unknown controller", `{"controller": "yolo"}`, "unknown controller"},
+		{"unknown mode", `{"mode": "anneal"}`, "unknown mode"},
+		{"negative duration", `{"duration": -3}`, "duration"},
+		{"over duration cap", `{"duration": 1e9}`, "exceeds the server cap"},
+		{"negative budget", `{"budget": -1}`, "budget"},
+		{"over eval cap", `{"budget": 32}`, "exceeds the cap"},
+	}
+	for _, tc := range cases {
+		resp, body := postSearch(t, c, []byte(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+		}
+		if msg := errorEnvelope(t, body); !strings.Contains(msg, tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, msg, tc.want)
+		}
+	}
+	if got := s.Registry().Counter("sim.runs").Value(); got != 0 {
+		t.Fatalf("invalid search requests triggered %d simulations", got)
+	}
+}
+
+// TestSearchQueueFull429: with the worker wedged and the queue full, a
+// search request is shed with 429 + Retry-After instead of blocking —
+// the same admission policy as /v1/run and /v1/mutate.
+func TestSearchQueueFull429(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	ctx := context.Background()
+
+	running := make(chan struct{})
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	if err := s.pool.TrySubmit(ctx, func(context.Context) { close(running); <-release }, nil); err != nil {
+		t.Fatalf("wedge: %v", err)
+	}
+	<-running
+	// Fill the single queue slot with a pending scenario request.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := c.Run(ctx, Request{Duration: 5}); err != nil {
+			t.Errorf("queued request: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.QueueLen() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	reqBody, err := json.Marshal(smallSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postSearch(t, c, reqBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	errorEnvelope(t, body)
+	if got := s.Registry().Counter("service.queue_full").Value(); got != 1 {
+		t.Fatalf("queue_full counter = %d, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// TestSearchTimeout: a search exceeding the per-request budget is
+// cancelled inside the running probes and answered with 504, uncached.
+func TestSearchTimeout(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, Timeout: 30 * time.Millisecond, MaxDuration: 1000})
+	body, err := json.Marshal(SearchRequest{
+		Tracks:   []string{"urban-loop"},
+		Channels: []search.Spec{{Op: mutate.OpGNSSQuantize}},
+		Budget:   8,
+		Duration: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postSearch(t, c, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, out)
+	}
+	errorEnvelope(t, out)
+	if s.cache.len() != 0 {
+		t.Fatal("timed-out search was cached")
+	}
+}

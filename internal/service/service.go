@@ -19,6 +19,7 @@
 //	POST   /v1/run               execute (or serve from cache) one scenario
 //	POST   /v1/stream            online monitoring: NDJSON frames in, NDJSON events out
 //	POST   /v1/mutate            execute (or serve from cache) one mutation campaign
+//	POST   /v1/search            execute (or serve from cache) one adversarial search
 //	POST   /v1/jobs              submit one scenario asynchronously → job id
 //	GET    /v1/jobs/{id}         poll a job's lifecycle state
 //	GET    /v1/jobs/{id}/result  fetch a finished job's bytes (identical to /v1/run)
@@ -232,6 +233,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/run", s.traced("/v1/run", s.handleRun))
 	mux.HandleFunc("POST /v1/stream", s.traced("/v1/stream", s.handleStream))
 	mux.HandleFunc("POST /v1/mutate", s.traced("/v1/mutate", s.handleMutate))
+	mux.HandleFunc("POST /v1/search", s.traced("/v1/search", s.handleSearch))
 	if s.jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.traced("/v1/jobs", s.handleJobSubmit))
 		mux.HandleFunc("GET /v1/jobs/{id}", s.traced("/v1/jobs/{id}", s.handleJobGet))
@@ -580,6 +582,7 @@ var routeMethods = map[string]string{
 	"/v1/run":          "POST",
 	"/v1/stream":       "POST",
 	"/v1/mutate":       "POST",
+	"/v1/search":       "POST",
 	"/v1/jobs":         "POST",
 	"/v1/catalog":      "GET",
 	"/healthz":         "GET",
